@@ -1,0 +1,30 @@
+//! Ablation bench: ADE window width (DESIGN.md § 5.2).
+//!
+//! Wider windows attenuate noise better but cost more per sample and add
+//! estimation lag; this bench times the per-sample cost across widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcperf_control::AlgebraicDifferentiator;
+use std::hint::black_box;
+
+fn bench_ade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ade_push");
+    for window in [5usize, 20, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let mut ade = AlgebraicDifferentiator::new(0.01, w).unwrap();
+            // Pre-warm the window.
+            for k in 0..w * 2 {
+                ade.push(k as f64 * 0.01);
+            }
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                black_box(ade.push((k % 97) as f64 * 0.01))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ade);
+criterion_main!(benches);

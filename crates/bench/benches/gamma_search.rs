@@ -1,0 +1,76 @@
+//! Ablation bench: the two γ_max search strategies of the Dynamic Priority
+//! Scheduler (DESIGN.md § 5.1).
+//!
+//! * Bisection assumes interval-shaped feasibility — `O(iter · n log n)`.
+//! * The critical-point sweep is exact but enumerates `O(n²)` queue-order
+//!   crossings.
+//!
+//! The crossover as the ready queue grows motivates the bisection default.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hcperf::dps::{DpsConfig, DynamicPriorityScheduler, GammaSearch};
+use hcperf_rtsim::{Job, JobId, SchedContext};
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::{SimSpan, SimTime, TaskId};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let graph = apollo_graph(&GraphOptions::default()).unwrap();
+    let n = graph.len();
+    let observed: Vec<SimSpan> = (0..n)
+        .map(|i| SimSpan::from_millis(2.0 + (i % 9) as f64 * 3.0))
+        .collect();
+    let remaining = vec![SimSpan::from_millis(4.0); 4];
+
+    let mut group = c.benchmark_group("gamma_search");
+    for queue_len in [4usize, 16, 64] {
+        let queue: Vec<Job> = (0..queue_len)
+            .map(|k| {
+                Job::new(
+                    JobId::new(k as u64),
+                    TaskId::new(k % n),
+                    0,
+                    SimTime::from_secs(9.9),
+                    SimSpan::from_millis(35.0 + (k % 7) as f64 * 8.0),
+                    SimTime::from_secs(9.9),
+                )
+            })
+            .collect();
+        let candidates: Vec<usize> = (0..queue.len()).collect();
+        for (label, search) in [
+            ("bisection", GammaSearch::Bisection { iterations: 24 }),
+            ("critical_points", GammaSearch::CriticalPoints),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, queue_len), &queue_len, |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut dps = DynamicPriorityScheduler::new(DpsConfig {
+                            search,
+                            ..Default::default()
+                        });
+                        dps.set_nominal_u(0.1);
+                        dps
+                    },
+                    |mut dps| {
+                        let ctx = SchedContext {
+                            now: SimTime::from_secs(10.0),
+                            graph: &graph,
+                            queue: &queue,
+                            candidates: &candidates,
+                            processor: 0,
+                            observed_exec: &observed,
+                            processor_remaining: &remaining,
+                        };
+                        dps.recompute_gamma(&ctx);
+                        black_box(dps.gamma_max())
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! § VII-E overhead analysis.
+//!
+//! The paper measures the coordination overhead of HCPerf at "less than
+//! 5 ms per period of 1 s". With a 100 ms control period that is ten
+//! coordinator invocations per second, so the per-invocation budget is
+//! ~500 µs. These benches time each component and the full per-period
+//! decision.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hcperf::coordinator::{CoordinatorConfig, HcPerf, PeriodInput};
+use hcperf::dps::{DpsConfig, DynamicPriorityScheduler};
+use hcperf::pdc::{PdcConfig, PerformanceDirectedController};
+use hcperf::rate_adapter::{RateAdapterConfig, SourceSlot, TaskRateAdapter};
+use hcperf_rtsim::{Job, JobId, SchedContext};
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::{Rate, RateRange, SimSpan, SimTime, TaskGraph, TaskId};
+use std::hint::black_box;
+
+fn queue_fixture(graph: &TaskGraph, len: usize) -> (Vec<Job>, Vec<SimSpan>, Vec<SimSpan>) {
+    let n = graph.len();
+    let queue: Vec<Job> = (0..len)
+        .map(|k| {
+            Job::new(
+                JobId::new(k as u64),
+                TaskId::new(k % n),
+                (k / n) as u64,
+                SimTime::from_secs(9.9 + 0.001 * k as f64),
+                SimSpan::from_millis(40.0 + (k % 5) as f64 * 10.0),
+                SimTime::from_secs(9.9),
+            )
+        })
+        .collect();
+    let observed: Vec<SimSpan> = (0..n)
+        .map(|i| SimSpan::from_millis(2.0 + (i % 9) as f64 * 3.0))
+        .collect();
+    let remaining = vec![SimSpan::from_millis(4.0); 4];
+    (queue, observed, remaining)
+}
+
+fn bench_pdc_step(c: &mut Criterion) {
+    c.bench_function("pdc_step", |b| {
+        let mut pdc = PerformanceDirectedController::new(PdcConfig::default()).unwrap();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(pdc.step((k % 37) as f64 * 0.1))
+        });
+    });
+}
+
+fn bench_tra_step(c: &mut Criterion) {
+    let graph = apollo_graph(&GraphOptions::default()).unwrap();
+    let sources: Vec<SourceSlot> = graph
+        .sources()
+        .iter()
+        .map(|&task| SourceSlot {
+            task,
+            range: RateRange::from_hz(10.0, 100.0),
+        })
+        .collect();
+    let current: Vec<(TaskId, Rate)> = sources
+        .iter()
+        .map(|s| (s.task, Rate::from_hz(30.0)))
+        .collect();
+    c.bench_function("tra_step_6_sources", |b| {
+        let mut tra = TaskRateAdapter::new(RateAdapterConfig::default(), sources.clone());
+        b.iter(|| black_box(tra.step(black_box(0.03), 0.02, &current)));
+    });
+}
+
+fn bench_gamma_recompute(c: &mut Criterion) {
+    let graph = apollo_graph(&GraphOptions::default()).unwrap();
+    for queue_len in [8usize, 32, 128] {
+        let (queue, observed, remaining) = queue_fixture(&graph, queue_len);
+        let candidates: Vec<usize> = (0..queue.len()).collect();
+        c.bench_function(&format!("gamma_recompute_q{queue_len}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+                    dps.set_nominal_u(0.08);
+                    dps
+                },
+                |mut dps| {
+                    let ctx = SchedContext {
+                        now: SimTime::from_secs(10.0),
+                        graph: &graph,
+                        queue: &queue,
+                        candidates: &candidates,
+                        processor: 0,
+                        observed_exec: &observed,
+                        processor_remaining: &remaining,
+                    };
+                    dps.recompute_gamma(&ctx);
+                    black_box(dps.gamma())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+fn bench_full_coordinator_period(c: &mut Criterion) {
+    let graph = apollo_graph(&GraphOptions::default()).unwrap();
+    let rates: Vec<(TaskId, Rate)> = graph
+        .sources()
+        .iter()
+        .map(|&s| (s, Rate::from_hz(30.0)))
+        .collect();
+    c.bench_function("coordinator_full_period", |b| {
+        let mut coord = HcPerf::new(CoordinatorConfig::default(), &graph).unwrap();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(coord.on_period(PeriodInput {
+                tracking_error: (k % 23) as f64 * 0.05,
+                miss_ratio: ((k % 11) as f64) * 0.01,
+                exec_signal: 0.02,
+                current_rates: &rates,
+            }))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pdc_step,
+    bench_tra_step,
+    bench_gamma_recompute,
+    bench_full_coordinator_period
+);
+criterion_main!(benches);

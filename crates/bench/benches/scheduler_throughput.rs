@@ -1,0 +1,61 @@
+//! Dispatch-decision throughput of every scheme on a shared ready-queue
+//! fixture: how long one `select()` call takes at realistic queue depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcperf::{DpsConfig, Scheme};
+use hcperf_rtsim::{Job, JobId, SchedContext, Scheduler};
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::{SimSpan, SimTime, TaskId};
+use std::hint::black_box;
+
+fn bench_select(c: &mut Criterion) {
+    let graph = apollo_graph(&GraphOptions::default()).unwrap();
+    let n = graph.len();
+    let observed: Vec<SimSpan> = (0..n)
+        .map(|i| SimSpan::from_millis(2.0 + (i % 9) as f64 * 3.0))
+        .collect();
+    let remaining = vec![SimSpan::from_millis(3.0); 4];
+
+    let mut group = c.benchmark_group("select");
+    for queue_len in [8usize, 64] {
+        let queue: Vec<Job> = (0..queue_len)
+            .map(|k| {
+                Job::new(
+                    JobId::new(k as u64),
+                    TaskId::new(k % n),
+                    0,
+                    SimTime::from_secs(9.9),
+                    SimSpan::from_millis(30.0 + (k % 6) as f64 * 10.0),
+                    SimTime::from_secs(9.9),
+                )
+            })
+            .collect();
+        let candidates: Vec<usize> = (0..queue.len()).collect();
+        for scheme in Scheme::all() {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.to_string(), queue_len),
+                &queue_len,
+                |b, _| {
+                    let mut scheduler = scheme.build(DpsConfig::default());
+                    scheduler.set_nominal_u(0.05);
+                    b.iter(|| {
+                        let ctx = SchedContext {
+                            now: SimTime::from_secs(10.0),
+                            graph: &graph,
+                            queue: &queue,
+                            candidates: &candidates,
+                            processor: 0,
+                            observed_exec: &observed,
+                            processor_remaining: &remaining,
+                        };
+                        black_box(scheduler.select(&ctx))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4 — the § II motivation study.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig04_motivation()?);
+    Ok(())
+}

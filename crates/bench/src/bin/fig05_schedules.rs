@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 — the adaptive vs preferred toy schedule.
+fn main() {
+    print!("{}", hcperf_bench::experiments::fig05_schedules());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12 — execution-time distributions.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig12_exec_times()?);
+    Ok(())
+}

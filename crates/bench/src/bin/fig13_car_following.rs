@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 and Tables II/III — simulation car following.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig13_car_following()?);
+    Ok(())
+}

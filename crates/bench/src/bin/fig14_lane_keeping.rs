@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 and Table IV — lane keeping.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig14_lane_keeping()?);
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15 and Tables V/VI — hardware car following.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig15_hardware()?);
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 16/17 — responsiveness vs throughput.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig17_responsiveness()?);
+    Ok(())
+}

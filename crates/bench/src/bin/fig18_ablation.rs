@@ -1,0 +1,5 @@
+//! Regenerates Fig. 18 — the external-coordinator ablation.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", hcperf_bench::experiments::fig18_ablation()?);
+    Ok(())
+}

@@ -1,0 +1,502 @@
+//! One function per paper table/figure, shared by the experiment binaries.
+//!
+//! Each function runs the corresponding scenario(s) and returns a markdown
+//! report comparing measured values against the paper's (where the paper
+//! reports numbers). Time-series CSVs are written to
+//! `target/experiments/` for plotting.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use hcperf::Scheme;
+use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
+use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
+use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
+use hcperf_scenarios::report::{improvement_over_best_baseline, pairs_to_csv, series_to_csv};
+use hcperf_scenarios::traffic_jam::{analyze_responsiveness, traffic_jam_config};
+use hcperf_scenarios::ScenarioError;
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::{ExecContext, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fig05;
+use crate::paper;
+
+/// Directory where experiment CSVs are dumped.
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+fn dump(name: &str, content: &str) {
+    let path = output_dir().join(name);
+    if std::fs::write(&path, content).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Fig. 4 — the § II motivation study under fixed-priority scheduling, and
+/// the same scenario under HCPerf for contrast.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`] from the scenario runs.
+pub fn fig04_motivation() -> Result<String, ScenarioError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Fig. 4 — motivation: fixed priority under a red-light scene\n"
+    );
+    for scheme in [Scheme::Apollo, Scheme::HcPerf] {
+        let config = MotivationConfig {
+            scheme,
+            ..Default::default()
+        };
+        let r = run_motivation(&config)?;
+        let _ = writeln!(
+            out,
+            "**{scheme}**: miss ratio before braking event {:.1}%, after {:.1}%; collision: {}",
+            r.miss_ratio_before_event * 100.0,
+            r.miss_ratio_after_event * 100.0,
+            r.collision_time.map_or("none".to_string(), |t| format!(
+                "t = {t:.1} s (paper: t ≈ {:.1} s)",
+                paper::MOTIVATION_COLLISION_TIME_S
+            )),
+        );
+        let _ = writeln!(out, "\nPer-second deadline-miss ratio (Fig. 4a):");
+        let _ = writeln!(out, "```");
+        for (t, m) in r.miss_ratio_per_sec.iter() {
+            let bar = "#".repeat((m * 40.0).round() as usize);
+            let _ = writeln!(out, "{t:5.0}s {:5.1}% {bar}", m * 100.0);
+        }
+        let _ = writeln!(out, "```");
+        dump(
+            &format!("fig04_{scheme}_miss_ratio.csv"),
+            &pairs_to_csv("miss_ratio", &r.miss_ratio_per_sec),
+        );
+        dump(
+            &format!("fig04_{scheme}_speed_diff.csv"),
+            &series_to_csv(&[&r.speed_difference, &r.gap]),
+        );
+    }
+    Ok(out)
+}
+
+/// Fig. 5 — adaptive vs preferred schedule on the nine-job toy example.
+#[must_use]
+pub fn fig05_schedules() -> String {
+    let adaptive = fig05::adaptive_schedule();
+    let preferred = fig05::preferred_schedule();
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 5 — adaptive vs preferred schedule\n");
+    let _ = writeln!(
+        out,
+        "Adaptive  (deadline order): {}",
+        fig05::render(&adaptive)
+    );
+    let _ = writeln!(
+        out,
+        "Preferred (cycle order)   : {}",
+        fig05::render(&preferred)
+    );
+    let _ = writeln!(
+        out,
+        "\nBoth schedules meet every deadline; the preferred one emits the first\n\
+         control command {:.0} s earlier (t = {:.0} s vs t = {:.0} s), matching the paper.",
+        adaptive.commands[0].1 - preferred.commands[0].1,
+        preferred.commands[0].1,
+        adaptive.commands[0].1,
+    );
+    out
+}
+
+/// Fig. 12 — execution-time samples of four representative tasks across
+/// obstacle loads.
+///
+/// # Errors
+///
+/// Propagates graph construction failures.
+pub fn fig12_exec_times() -> Result<String, hcperf_taskgraph::GraphError> {
+    let graph = apollo_graph(&GraphOptions::default())?;
+    let tasks = [
+        "sensor_fusion",
+        "object_detection_3d",
+        "motion_planning",
+        "gps_imu",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 12 — execution-time distributions\n");
+    let _ = writeln!(out, "| Task | load | min (ms) | mean (ms) | max (ms) |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let mut csv = String::from("task,load,sample_ms\n");
+    let mut rng = StdRng::seed_from_u64(7);
+    for name in tasks {
+        let id = graph.find(name).expect("task exists");
+        for load in [0.0, 5.0, 10.0] {
+            let ctx = ExecContext::new(SimTime::ZERO, load);
+            let samples: Vec<f64> = (0..200)
+                .map(|_| {
+                    graph
+                        .spec(id)
+                        .exec_model()
+                        .sample(ctx, &mut rng)
+                        .as_millis()
+                })
+                .collect();
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().cloned().fold(0.0, f64::max);
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let _ = writeln!(
+                out,
+                "| {name} | {load:.0} | {min:.2} | {mean:.2} | {max:.2} |"
+            );
+            for s in &samples {
+                let _ = writeln!(csv, "{name},{load},{s:.4}");
+            }
+        }
+    }
+    dump("fig12_exec_times.csv", &csv);
+    let _ = writeln!(
+        out,
+        "\nThe configurable sensor fusion grows cubically with the obstacle count\n\
+         (Hungarian matching, § II); the other tasks stay load-independent."
+    );
+    Ok(out)
+}
+
+/// Fig. 13 + Tables II/III — simulation car following across all schemes.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`].
+pub fn fig13_car_following() -> Result<String, ScenarioError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Fig. 13 + Tables II/III — simulation car following\n"
+    );
+    let mut speed_rows = Vec::new();
+    let mut dist_rows = Vec::new();
+    for scheme in Scheme::all() {
+        let config = CarFollowingConfig::paper_simulation(scheme);
+        let r = run_car_following(&config)?;
+        speed_rows.push((scheme.to_string(), r.rms_speed_error));
+        dist_rows.push((scheme.to_string(), r.rms_distance_error));
+        let _ = writeln!(
+            out,
+            "* **{scheme}**: {} commands, overall miss {:.1}%, final miss {:.1}%, \
+             mean response {:.1} ms (p99 {:.1} ms), mean e2e {:.0} ms (p99 {:.0} ms)",
+            r.commands,
+            r.overall_miss_ratio * 100.0,
+            r.final_miss_ratio * 100.0,
+            r.mean_response_time_ms,
+            r.response_p99_ms,
+            r.mean_e2e_ms,
+            r.e2e_p99_ms,
+        );
+        dump(
+            &format!("fig13_{scheme}_series.csv"),
+            &series_to_csv(&[
+                &r.lead_speed,
+                &r.follow_speed,
+                &r.speed_error,
+                &r.distance_error,
+                &r.miss_ratio,
+                &r.gamma,
+                &r.mean_source_rate,
+            ]),
+        );
+        dump(
+            &format!("fig13_{scheme}_miss_per_sec.csv"),
+            &pairs_to_csv("miss_ratio", &r.miss_ratio.bucket_mean(1.0)),
+        );
+    }
+    let _ = writeln!(out);
+    out.push_str(&paper::comparison_table(
+        "Table II — RMS speed tracking error",
+        "m/s",
+        &paper::TABLE_II_SPEED_RMS,
+        &speed_rows,
+    ));
+    if let Some(imp) = improvement_over_best_baseline(&speed_rows) {
+        let _ = writeln!(out, "Measured HCPerf vs best baseline: {imp:+.1}%\n");
+    }
+    out.push_str(&paper::comparison_table(
+        "Table III — RMS distance tracking error",
+        "m",
+        &paper::TABLE_III_DISTANCE_RMS,
+        &dist_rows,
+    ));
+    if let Some(imp) = improvement_over_best_baseline(&dist_rows) {
+        let _ = writeln!(out, "Measured HCPerf vs best baseline: {imp:+.1}%\n");
+    }
+    Ok(out)
+}
+
+/// Fig. 14 + Table IV — lane keeping on the oval loop.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`].
+pub fn fig14_lane_keeping() -> Result<String, ScenarioError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 14 + Table IV — lane keeping\n");
+    let mut rows = Vec::new();
+    for scheme in Scheme::all() {
+        let config = LaneKeepingConfig::paper_loop(scheme);
+        let r = run_lane_keeping(&config)?;
+        rows.push((scheme.to_string(), r.rms_lateral_offset));
+        let _ = writeln!(
+            out,
+            "* **{scheme}**: {} commands, max |offset| {:.3} m, overall miss {:.1}%",
+            r.commands,
+            r.max_lateral_offset,
+            r.overall_miss_ratio * 100.0,
+        );
+        dump(
+            &format!("fig14_{scheme}_offsets.csv"),
+            &series_to_csv(&[&r.lateral_offset, &r.arc_position, &r.miss_ratio]),
+        );
+    }
+    let _ = writeln!(out);
+    out.push_str(&paper::comparison_table(
+        "Table IV — RMS lateral offset",
+        "m",
+        &paper::TABLE_IV_LATERAL_RMS,
+        &rows,
+    ));
+    if let Some(imp) = improvement_over_best_baseline(&rows) {
+        let _ = writeln!(out, "Measured HCPerf vs best baseline: {imp:+.1}%\n");
+    }
+    Ok(out)
+}
+
+/// Fig. 15 + Tables V/VI — hardware-testbed car following (averaged over
+/// three seeds, since the scaled cars are noisy).
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`].
+pub fn fig15_hardware() -> Result<String, ScenarioError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 15 + Tables V/VI — hardware car following\n");
+    let mut speed_rows = Vec::new();
+    let mut dist_rows = Vec::new();
+    let seeds = [42u64, 7, 1234];
+    for scheme in Scheme::all() {
+        let mut v = 0.0;
+        let mut d = 0.0;
+        let mut miss = 0.0;
+        for &seed in &seeds {
+            let mut config = CarFollowingConfig::hardware(scheme);
+            config.seed = seed;
+            let r = run_car_following(&config)?;
+            v += r.rms_speed_error;
+            d += r.rms_distance_error;
+            miss += r.final_miss_ratio;
+            if seed == seeds[0] {
+                dump(
+                    &format!("fig15_{scheme}_series.csv"),
+                    &series_to_csv(&[
+                        &r.lead_speed,
+                        &r.follow_speed,
+                        &r.speed_error,
+                        &r.distance_error,
+                        &r.miss_ratio,
+                    ]),
+                );
+            }
+        }
+        let n = seeds.len() as f64;
+        speed_rows.push((scheme.to_string(), v / n));
+        dist_rows.push((scheme.to_string(), d / n));
+        let _ = writeln!(
+            out,
+            "* **{scheme}**: final miss ratio {:.1}% (mean of {} seeds)",
+            miss / n * 100.0,
+            seeds.len()
+        );
+    }
+    let _ = writeln!(out);
+    out.push_str(&paper::comparison_table(
+        "Table V — RMS speed tracking error (hardware)",
+        "m/s",
+        &paper::TABLE_V_SPEED_RMS,
+        &speed_rows,
+    ));
+    out.push_str(&paper::comparison_table(
+        "Table VI — RMS distance tracking error (hardware)",
+        "m",
+        &paper::TABLE_VI_DISTANCE_RMS,
+        &dist_rows,
+    ));
+    if let Some(imp) = improvement_over_best_baseline(&dist_rows) {
+        let _ = writeln!(
+            out,
+            "Measured HCPerf distance error vs best baseline: {imp:+.1}%\n"
+        );
+    }
+    Ok(out)
+}
+
+/// Fig. 16/17 — the § VII-C responsiveness/throughput trade under a traffic
+/// jam.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`].
+pub fn fig17_responsiveness() -> Result<String, ScenarioError> {
+    let config = traffic_jam_config(Scheme::HcPerf);
+    let result = run_car_following(&config)?;
+    let report = analyze_responsiveness(&result);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Fig. 16/17 — responsiveness vs throughput (traffic jam)\n"
+    );
+    let pre_err = report.tracking_error_m.rms_between(5.0, 10.0);
+    let jam_max = report
+        .tracking_error_m
+        .iter()
+        .filter(|(t, _)| (10.0..20.0).contains(t))
+        .map(|(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let post_err = report.tracking_error_m.rms_between(32.0, 40.0);
+    let _ = writeln!(
+        out,
+        "Gap-deficit tracking error: {pre_err:.2} m RMS before the jam, peak {jam_max:.2} m \
+         during onset, {post_err:.2} m RMS after recovery (paper: ~5 m spike mitigated to ~2 m)."
+    );
+    let resp = |from: f64, to: f64| {
+        let vals: Vec<f64> = report
+            .response_ms_per_sec
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "Mean control response time: {:.1} ms pre-jam, {:.1} ms during the jam, {:.1} ms after \
+         (the jam phase prioritizes the control task).",
+        resp(2.0, 10.0),
+        resp(10.0, 20.0),
+        resp(30.0, 40.0),
+    );
+    let disc = |from: f64, to: f64| {
+        let vals: Vec<f64> = report
+            .discomfort
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "Passenger discomfort (RMS jerk): {:.2} pre-jam, {:.2} during, {:.2} after — discomfort \
+         rises while responsiveness is prioritized, then recovers (Fig. 17b).",
+        disc(2.0, 10.0),
+        disc(10.0, 20.0),
+        disc(30.0, 40.0),
+    );
+    dump(
+        "fig17_tracking_error.csv",
+        &series_to_csv(&[&report.tracking_error_m]),
+    );
+    dump(
+        "fig17_response_ms.csv",
+        &pairs_to_csv("response_ms", &report.response_ms_per_sec),
+    );
+    dump(
+        "fig17_discomfort.csv",
+        &pairs_to_csv("rms_jerk", &report.discomfort),
+    );
+    dump(
+        "fig17_commands_per_sec.csv",
+        &pairs_to_csv("commands", &report.commands_per_sec),
+    );
+    Ok(out)
+}
+
+/// Fig. 18 — ablation: full HCPerf vs internal coordinator only.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`].
+pub fn fig18_ablation() -> Result<String, ScenarioError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 18 — ablation: external coordinator\n");
+    let mut rows = Vec::new();
+    for (label, external) in [("full HCPerf", true), ("internal only", false)] {
+        let mut config = CarFollowingConfig::paper_simulation(Scheme::HcPerf);
+        config.coordinator.external_enabled = external;
+        let r = run_car_following(&config)?;
+        let _ = writeln!(
+            out,
+            "* **{label}**: RMS speed error {:.3} m/s, RMS distance error {:.3} m, \
+             overall miss {:.1}%, final miss {:.1}%",
+            r.rms_speed_error,
+            r.rms_distance_error,
+            r.overall_miss_ratio * 100.0,
+            r.final_miss_ratio * 100.0,
+        );
+        rows.push((label, r.rms_distance_error, r.final_miss_ratio));
+        dump(
+            &format!(
+                "fig18_{}_series.csv",
+                if external { "full" } else { "internal_only" }
+            ),
+            &series_to_csv(&[&r.speed_error, &r.distance_error, &r.miss_ratio]),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nThe paper reports the full version ends ~0.5 m better on distance error and\n\
+         drives the miss ratio to ~0 while the internal-only version cannot (Fig. 18b).\n\
+         Measured distance-error gap: {:.2} m; final miss ratios {:.1}% (full) vs {:.1}% \
+         (internal only).",
+        rows[1].1 - rows[0].1,
+        rows[0].2 * 100.0,
+        rows[1].2 * 100.0,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig05_report_mentions_both_schedules() {
+        let r = fig05_schedules();
+        assert!(r.contains("Adaptive"));
+        assert!(r.contains("Preferred"));
+        assert!(r.contains("4 s earlier"));
+    }
+
+    #[test]
+    fn fig12_report_has_four_tasks() {
+        let r = fig12_exec_times().unwrap();
+        for t in [
+            "sensor_fusion",
+            "object_detection_3d",
+            "motion_planning",
+            "gps_imu",
+        ] {
+            assert!(r.contains(t));
+        }
+    }
+}

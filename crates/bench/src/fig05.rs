@@ -1,0 +1,180 @@
+//! The Fig. 5 toy schedule: adaptive (deadline-ordered) vs preferred
+//! (cycle-grouped) scheduling of nine unit-time jobs.
+//!
+//! Three tasks `t1, t2, t3` release once per control cycle `j ∈ {1, 2, 3}`;
+//! the control command of cycle `j` is generated when all three of its jobs
+//! have completed. Every job takes 1 s on a single processor, and the
+//! absolute deadlines are the paper's:
+//!
+//! ```text
+//! t1-1: 1 s   t1-2: 4 s   t1-3: 7 s
+//! t2-1: 8 s   t2-2: 9 s   t2-3: 10 s
+//! t3-1: 11 s  t3-2: 12 s  t3-3: 13 s
+//! ```
+//!
+//! * **Adaptive** (deadline order) finishes the cycles at `t = 7, 8, 9 s`.
+//! * **Preferred** (cycle order — what a responsiveness-aware scheduler
+//!   produces) finishes them at `t = 3, 6, 9 s`: the first command is
+//!   available 4 s earlier without any deadline being missed.
+
+/// One toy job: `(task, cycle, absolute deadline in seconds)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToyJob {
+    /// Task index (1..=3).
+    pub task: u32,
+    /// Control cycle (1..=3).
+    pub cycle: u32,
+    /// Absolute deadline, seconds.
+    pub deadline: f64,
+}
+
+/// The paper's nine jobs.
+#[must_use]
+pub fn paper_jobs() -> Vec<ToyJob> {
+    let deadlines = [
+        (1, 1, 1.0),
+        (1, 2, 4.0),
+        (1, 3, 7.0),
+        (2, 1, 8.0),
+        (2, 2, 9.0),
+        (2, 3, 10.0),
+        (3, 1, 11.0),
+        (3, 2, 12.0),
+        (3, 3, 13.0),
+    ];
+    deadlines
+        .into_iter()
+        .map(|(task, cycle, deadline)| ToyJob {
+            task,
+            cycle,
+            deadline,
+        })
+        .collect()
+}
+
+/// A completed schedule: per-job finish times in execution order, plus the
+/// per-cycle command emission times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToySchedule {
+    /// `(job, finish_time)` in execution order.
+    pub execution: Vec<(ToyJob, f64)>,
+    /// Command time of each cycle (when its last job finishes), by cycle.
+    pub commands: Vec<(u32, f64)>,
+    /// Whether every job met its deadline.
+    pub all_deadlines_met: bool,
+}
+
+fn run_order(jobs: &[ToyJob]) -> ToySchedule {
+    let mut t = 0.0;
+    let mut execution = Vec::new();
+    let mut last_finish = std::collections::HashMap::new();
+    let mut all_met = true;
+    for &job in jobs {
+        t += 1.0; // unit execution time, single processor
+        execution.push((job, t));
+        if t > job.deadline + 1e-12 {
+            all_met = false;
+        }
+        let entry = last_finish.entry(job.cycle).or_insert((0u32, 0.0f64));
+        entry.0 += 1;
+        entry.1 = entry.1.max(t);
+    }
+    let mut commands: Vec<(u32, f64)> = last_finish
+        .into_iter()
+        .filter(|&(_, (count, _))| count == 3)
+        .map(|(cycle, (_, finish))| (cycle, finish))
+        .collect();
+    commands.sort_by_key(|&(cycle, _)| cycle);
+    ToySchedule {
+        execution,
+        commands,
+        all_deadlines_met: all_met,
+    }
+}
+
+/// The adaptive schedule (Fig. 5a): jobs ordered by absolute deadline.
+#[must_use]
+pub fn adaptive_schedule() -> ToySchedule {
+    let mut jobs = paper_jobs();
+    jobs.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
+    run_order(&jobs)
+}
+
+/// The preferred schedule (Fig. 5b): jobs grouped by cycle (each control
+/// command completed as early as possible), breaking ties by deadline.
+#[must_use]
+pub fn preferred_schedule() -> ToySchedule {
+    let mut jobs = paper_jobs();
+    jobs.sort_by(|a, b| {
+        a.cycle
+            .cmp(&b.cycle)
+            .then(a.deadline.total_cmp(&b.deadline))
+    });
+    run_order(&jobs)
+}
+
+/// Renders a schedule as a one-line Gantt string, e.g.
+/// `t1-1 t1-2 t1-3 | commands @ 7, 8, 9`.
+#[must_use]
+pub fn render(schedule: &ToySchedule) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (job, _) in &schedule.execution {
+        let _ = write!(out, "t{}-{} ", job.task, job.cycle);
+    }
+    let _ = write!(out, "| commands @");
+    for (cycle, t) in &schedule.commands {
+        let _ = write!(out, " c{cycle}:{t:.0}s");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_commands_match_paper() {
+        let s = adaptive_schedule();
+        assert!(s.all_deadlines_met);
+        assert_eq!(
+            s.commands,
+            vec![(1, 7.0), (2, 8.0), (3, 9.0)],
+            "paper: commands at t = 7, 8, 9 s"
+        );
+    }
+
+    #[test]
+    fn preferred_commands_match_paper() {
+        let s = preferred_schedule();
+        assert!(
+            s.all_deadlines_met,
+            "the preferred order misses no deadline"
+        );
+        assert_eq!(
+            s.commands,
+            vec![(1, 3.0), (2, 6.0), (3, 9.0)],
+            "paper: commands at t = 3, 6, 9 s"
+        );
+    }
+
+    #[test]
+    fn preferred_first_command_is_four_seconds_earlier() {
+        let a = adaptive_schedule().commands[0].1;
+        let p = preferred_schedule().commands[0].1;
+        assert_eq!(a - p, 4.0);
+    }
+
+    #[test]
+    fn both_schedules_execute_all_nine_jobs() {
+        assert_eq!(adaptive_schedule().execution.len(), 9);
+        assert_eq!(preferred_schedule().execution.len(), 9);
+    }
+
+    #[test]
+    fn render_mentions_commands() {
+        let s = render(&preferred_schedule());
+        assert!(s.contains("c1:3s"));
+        assert!(s.contains("t1-1"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark harness regenerating every table and figure of the HCPerf
+//! paper's evaluation (§ II motivation and § VII).
+//!
+//! One binary per experiment:
+//!
+//! | Binary | Paper result |
+//! |---|---|
+//! | `fig04_motivation` | Fig. 4 — fixed priority vs red-light scene |
+//! | `fig05_schedules` | Fig. 5 — adaptive vs preferred toy schedule |
+//! | `fig12_exec_times` | Fig. 12 — execution-time distributions |
+//! | `fig13_car_following` | Fig. 13 + Tables II/III |
+//! | `fig14_lane_keeping` | Fig. 14 + Table IV |
+//! | `fig15_hardware` | Fig. 15 + Tables V/VI |
+//! | `fig17_responsiveness` | Fig. 16/17 — responsiveness vs throughput |
+//! | `fig18_ablation` | Fig. 18 — external-coordinator ablation |
+//! | `all_experiments` | everything above, in order |
+//!
+//! Criterion benches (`cargo bench -p hcperf-bench`) cover the § VII-E
+//! overhead analysis plus the γ-search, scheduler-decision, ADE-window and
+//! engine-throughput micro-benchmarks.
+//!
+//! Time-series CSVs land in `target/experiments/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod fig05;
+pub mod paper;

@@ -1,0 +1,25 @@
+//! The `hcperf` command-line entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match hcperf_cli::Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", hcperf_cli::help());
+            return ExitCode::FAILURE;
+        }
+    };
+    match hcperf_cli::dispatch(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

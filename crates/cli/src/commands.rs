@@ -1,0 +1,457 @@
+//! CLI subcommands. Each returns its report as a `String` so the commands
+//! are unit-testable without capturing stdout.
+
+use std::fmt::Write as _;
+
+use hcperf::analysis::{analyze, liu_layland_bound, max_rate_within_bound};
+use hcperf::rta::rta_fixed_priority;
+use hcperf::Scheme;
+use hcperf_rtsim::{gantt, trace_json, JoinPolicy, Sim, SimConfig};
+use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
+use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
+use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
+use hcperf_scenarios::sweep::{knee, rate_sweep, SweepConfig};
+use hcperf_taskgraph::graphs::{apollo_graph, motivation_graph, GraphOptions};
+use hcperf_taskgraph::{ExecContext, Rate, SimTime};
+
+use crate::args::{Args, ParseError};
+
+/// Error type for command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing / validation failure.
+    Args(ParseError),
+    /// Scenario execution failure.
+    Scenario(hcperf_scenarios::ScenarioError),
+    /// Graph construction failure.
+    Graph(hcperf_taskgraph::GraphError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Scenario(e) => write!(f, "scenario failed: {e}"),
+            CliError::Graph(e) => write!(f, "graph failed: {e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; try `hcperf help`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<hcperf_scenarios::ScenarioError> for CliError {
+    fn from(e: hcperf_scenarios::ScenarioError) -> Self {
+        CliError::Scenario(e)
+    }
+}
+impl From<hcperf_taskgraph::GraphError> for CliError {
+    fn from(e: hcperf_taskgraph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+/// The help text.
+#[must_use]
+pub fn help() -> String {
+    "\
+hcperf — performance-directed hierarchical coordination (ICDCS 2023 reproduction)
+
+USAGE: hcperf <command> [--key value]...
+
+COMMANDS
+  run         Closed-loop car following (default) or lane keeping
+                --scenario  car-following | lane-keeping   (car-following)
+                --scheme    hpf|edf|edf-vd|apollo|hcperf   (hcperf)
+                --duration  seconds                        (30)
+                --seed      integer                        (42)
+  sweep       Pipeline-rate sweep to locate the capacity knee
+                --scheme, --seed as above
+                --from, --to, --step   Hz                  (10, 50, 5)
+                --duration  seconds per point              (5)
+  analyze     Offline schedulability of the Fig. 11 graph
+                --rate      Hz                             (20)
+                --processors                               (4)
+  motivation  The § II red-light study
+                --scheme as above                          (apollo)
+  graph       Emit the task graph
+                --which     apollo | motivation            (apollo)
+                --format    dot | json                     (dot)
+  trace       Run the pipeline briefly and emit the schedule
+                --scheme, --seed as above                  (edf)
+                --duration  seconds                        (0.5)
+                --rate      Hz                             (20)
+                --format    gantt | chrome                 (gantt)
+  help        This message
+"
+    .to_owned()
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad arguments, unknown commands, or scenario
+/// failures.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "run" => cmd_run(args),
+        "sweep" => cmd_sweep(args),
+        "analyze" => cmd_analyze(args),
+        "motivation" => cmd_motivation(args),
+        "graph" => cmd_graph(args),
+        "trace" => cmd_trace(args),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let scheme = args.get_scheme("scheme", Scheme::HcPerf)?;
+    let duration = args.get_f64("duration", 30.0)?;
+    let seed = args.get_u64("seed", 42)?;
+    let scenario = args.get("scenario").unwrap_or("car-following");
+    let mut out = String::new();
+    match scenario {
+        "car-following" => {
+            let mut config = CarFollowingConfig::paper_simulation(scheme);
+            config.duration = duration;
+            config.seed = seed;
+            let r = run_car_following(&config)?;
+            let _ = writeln!(out, "car following under {scheme} for {duration:.0} s:");
+            let _ = writeln!(out, "  RMS speed error:    {:.3} m/s", r.rms_speed_error);
+            let _ = writeln!(out, "  RMS distance error: {:.3} m", r.rms_distance_error);
+            let _ = writeln!(out, "  commands:           {}", r.commands);
+            let _ = writeln!(
+                out,
+                "  miss ratio:         {:.2}% (final {:.2}%)",
+                r.overall_miss_ratio * 100.0,
+                r.final_miss_ratio * 100.0
+            );
+            let _ = writeln!(out, "  mean e2e latency:   {:.0} ms", r.mean_e2e_ms);
+            if let Some(t) = r.collision_time {
+                let _ = writeln!(out, "  COLLISION at t = {t:.1} s");
+            }
+        }
+        "lane-keeping" => {
+            let mut config = LaneKeepingConfig::paper_loop(scheme);
+            config.duration = duration;
+            config.seed = seed;
+            let r = run_lane_keeping(&config)?;
+            let _ = writeln!(out, "lane keeping under {scheme} for {duration:.0} s:");
+            let _ = writeln!(out, "  RMS lateral offset: {:.4} m", r.rms_lateral_offset);
+            let _ = writeln!(out, "  max |offset|:       {:.3} m", r.max_lateral_offset);
+            let _ = writeln!(out, "  commands:           {}", r.commands);
+            let _ = writeln!(
+                out,
+                "  miss ratio:         {:.2}%",
+                r.overall_miss_ratio * 100.0
+            );
+        }
+        other => {
+            return Err(CliError::Args(ParseError(format!(
+                "unknown scenario {other:?} (car-following | lane-keeping)"
+            ))))
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    let scheme = args.get_scheme("scheme", Scheme::Edf)?;
+    let from = args.get_f64("from", 10.0)?;
+    let to = args.get_f64("to", 50.0)?;
+    let step = args.get_f64("step", 5.0)?;
+    let duration = args.get_f64("duration", 5.0)?;
+    let seed = args.get_u64("seed", 42)?;
+    if !(from > 0.0 && to >= from && step > 0.0) {
+        return Err(CliError::Args(ParseError(
+            "sweep needs 0 < --from <= --to and --step > 0".into(),
+        )));
+    }
+    let mut rates = Vec::new();
+    let mut hz = from;
+    while hz <= to + 1e-9 {
+        rates.push(hz);
+        hz += step;
+    }
+    let points = rate_sweep(&SweepConfig {
+        scheme,
+        rates_hz: rates,
+        duration,
+        seed,
+        ..Default::default()
+    })?;
+    let mut out = format!("rate sweep under {scheme}:\n");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>9} {:>12} {:>10}",
+        "rate", "miss", "commands/s", "e2e(ms)"
+    );
+    for p in &points {
+        let _ = writeln!(
+            out,
+            "{:5.0}Hz {:8.2}% {:12.1} {:10.1}",
+            p.rate_hz,
+            p.miss_ratio * 100.0,
+            p.commands_per_sec,
+            p.mean_e2e_ms
+        );
+    }
+    match knee(&points, 0.02) {
+        Some(k) => {
+            let _ = writeln!(
+                out,
+                "capacity knee: ~{k:.0} Hz (first rate above 2% misses)"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "no knee inside the sweep");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    let rate = args.get_f64("rate", 20.0)?;
+    let processors = args.get_usize("processors", 4)?;
+    if rate <= 0.0 || processors == 0 {
+        return Err(CliError::Args(ParseError(
+            "--rate must be positive and --processors at least 1".into(),
+        )));
+    }
+    let graph = apollo_graph(&GraphOptions {
+        jitter_frac: 0.0,
+        with_affinity: false,
+        processors,
+    })?;
+    let ctx = ExecContext::idle();
+    let report = analyze(&graph, Rate::from_hz(rate), ctx, processors);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "offline analysis of the {}-task graph at {rate:.0} Hz on {processors} processors:",
+        graph.len()
+    );
+    let _ = writeln!(out, "  utilization:      {:.2}", report.utilization);
+    let _ = writeln!(
+        out,
+        "  Liu-Layland bound: {:.3} ({} tasks)",
+        liu_layland_bound(graph.len()),
+        graph.len()
+    );
+    let _ = writeln!(out, "  within bound:     {}", report.within_bound);
+    let _ = writeln!(out, "  feasible (u < 1): {}", report.feasible);
+    let _ = writeln!(
+        out,
+        "  critical path:    {:.1} ms",
+        report.critical_path_secs * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  rate at u = 1:    {:.1} Hz",
+        max_rate_within_bound(&graph, ctx, processors, 1.0).as_hz()
+    );
+    let _ = writeln!(out, "  response-time analysis (sufficient test):");
+    for r in rta_fixed_priority(&graph, Rate::from_hz(rate), ctx, processors) {
+        let name = graph.spec(r.task).name();
+        match r.response_bound {
+            Some(b) => {
+                let _ = writeln!(out, "    {name:24} bound {:.1} ms", b.as_millis());
+            }
+            None => {
+                let _ = writeln!(out, "    {name:24} not guaranteed");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_motivation(args: &Args) -> Result<String, CliError> {
+    let scheme = args.get_scheme("scheme", Scheme::Apollo)?;
+    let config = MotivationConfig {
+        scheme,
+        ..Default::default()
+    };
+    let r = run_motivation(&config)?;
+    let mut out = format!("motivation study under {scheme}:\n");
+    let _ = writeln!(
+        out,
+        "  miss ratio before/after braking: {:.1}% / {:.1}%",
+        r.miss_ratio_before_event * 100.0,
+        r.miss_ratio_after_event * 100.0
+    );
+    match r.collision_time {
+        Some(t) => {
+            let _ = writeln!(out, "  COLLISION at t = {t:.1} s");
+        }
+        None => {
+            let _ = writeln!(out, "  no collision");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_graph(args: &Args) -> Result<String, CliError> {
+    let which = args.get("which").unwrap_or("apollo");
+    let format = args.get("format").unwrap_or("dot");
+    let opts = GraphOptions::default();
+    let graph = match which {
+        "apollo" => apollo_graph(&opts)?,
+        "motivation" => motivation_graph(&opts)?,
+        other => {
+            return Err(CliError::Args(ParseError(format!(
+                "unknown graph {other:?} (apollo | motivation)"
+            ))))
+        }
+    };
+    match format {
+        "dot" => Ok(graph.to_dot()),
+        "json" => serde_json::to_string_pretty(&graph)
+            .map_err(|e| CliError::Args(ParseError(format!("serialization failed: {e}")))),
+        other => Err(CliError::Args(ParseError(format!(
+            "unknown format {other:?} (dot | json)"
+        )))),
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let scheme = args.get_scheme("scheme", Scheme::Edf)?;
+    let duration = args.get_f64("duration", 0.5)?;
+    let rate = args.get_f64("rate", 20.0)?;
+    let seed = args.get_u64("seed", 42)?;
+    let format = args.get("format").unwrap_or("gantt");
+    if duration <= 0.0 || rate <= 0.0 {
+        return Err(CliError::Args(ParseError(
+            "--duration and --rate must be positive".into(),
+        )));
+    }
+    let graph = apollo_graph(&GraphOptions {
+        with_affinity: scheme.uses_affinity(),
+        ..Default::default()
+    })?;
+    let mut sim = Sim::new(
+        graph,
+        SimConfig {
+            seed,
+            trace_capacity: 1_000_000,
+            join_policy: JoinPolicy::SameCycle,
+            ..Default::default()
+        },
+        scheme.build(hcperf::DpsConfig::default()),
+    )
+    .map_err(|e| CliError::Args(ParseError(format!("simulator: {e}"))))?;
+    let sources: Vec<_> = sim.source_rates().iter().map(|&(t, _)| t).collect();
+    for s in sources {
+        sim.set_source_rate(s, Rate::from_hz(rate))
+            .map_err(|e| CliError::Args(ParseError(format!("rates: {e}"))))?;
+    }
+    sim.run_until(SimTime::from_secs(duration));
+    let graph = sim.graph().clone();
+    match format {
+        "gantt" => Ok(gantt::render(
+            sim.trace(),
+            &graph,
+            SimTime::from_secs(duration),
+            duration / 100.0,
+        )),
+        "chrome" => trace_json::to_chrome_trace(sim.trace(), &graph)
+            .map_err(|e| CliError::Args(ParseError(format!("serialization failed: {e}")))),
+        other => Err(CliError::Args(ParseError(format!(
+            "unknown format {other:?} (gantt | chrome)"
+        )))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(argv.iter().copied()).unwrap();
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let h = help();
+        for cmd in ["run", "sweep", "analyze", "motivation", "graph"] {
+            assert!(h.contains(cmd), "help must mention {cmd}");
+        }
+        assert_eq!(run(&["help"]).unwrap(), h);
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+    }
+
+    #[test]
+    fn graph_dot_and_json() {
+        let dot = run(&["graph", "--which", "motivation"]).unwrap();
+        assert!(dot.starts_with("digraph"));
+        let json = run(&["graph", "--which", "apollo", "--format", "json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["tasks"].as_array().unwrap().len() == 23);
+        assert!(run(&["graph", "--which", "zzz"]).is_err());
+        assert!(run(&["graph", "--format", "yaml"]).is_err());
+    }
+
+    #[test]
+    fn analyze_prints_utilization_and_bounds() {
+        let out = run(&["analyze", "--rate", "10", "--processors", "4"]).unwrap();
+        assert!(out.contains("utilization"));
+        assert!(out.contains("chassis_command"));
+        assert!(run(&["analyze", "--rate", "0"]).is_err());
+    }
+
+    #[test]
+    fn run_car_following_short() {
+        let out = run(&["run", "--scheme", "edf", "--duration", "5"]).unwrap();
+        assert!(out.contains("RMS speed error"));
+        assert!(out.contains("commands"));
+        assert!(run(&["run", "--scenario", "flying"]).is_err());
+    }
+
+    #[test]
+    fn trace_renders_gantt_and_chrome() {
+        let g = run(&["trace", "--duration", "0.3"]).unwrap();
+        assert!(g.contains("p0 |"));
+        assert!(g.contains("p3 |"));
+        let c = run(&["trace", "--duration", "0.3", "--format", "chrome"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&c).unwrap();
+        assert!(v.as_array().unwrap().len() > 10);
+        assert!(run(&["trace", "--format", "svg"]).is_err());
+        assert!(run(&["trace", "--duration", "0"]).is_err());
+    }
+
+    #[test]
+    fn sweep_validates_bounds() {
+        assert!(run(&["sweep", "--from", "30", "--to", "10"]).is_err());
+        let out = run(&[
+            "sweep",
+            "--from",
+            "10",
+            "--to",
+            "20",
+            "--step",
+            "10",
+            "--duration",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("rate sweep"));
+        assert!(out.contains("10Hz"));
+        assert!(out.contains("20Hz"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Command-line interface for the HCPerf reproduction.
+//!
+//! The `hcperf` binary wraps the workspace's scenarios and analyses:
+//!
+//! ```text
+//! hcperf run --scenario car-following --scheme hcperf --duration 60
+//! hcperf sweep --from 10 --to 50 --step 5
+//! hcperf analyze --rate 20 --processors 4
+//! hcperf motivation --scheme apollo
+//! hcperf graph --which apollo --format dot | dot -Tsvg > pipeline.svg
+//! ```
+//!
+//! Argument parsing is hand-rolled ([`args`]) to keep the dependency set to
+//! the workspace's approved crates; every subcommand ([`commands`]) returns
+//! its report as a `String` for testability.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_scheme, Args, ParseError};
+pub use commands::{dispatch, help, CliError};

@@ -1,0 +1,77 @@
+//! High Priority First (HPF) baseline.
+//!
+//! Each task carries a statically assigned priority; the ready job whose
+//! task has the numerically smallest (most important) priority dispatches
+//! first, non-preemptively. Ties break by release time then job id.
+
+use hcperf_rtsim::{SchedContext, Scheduler};
+
+/// The HPF baseline scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf::baselines::Hpf;
+/// use hcperf_rtsim::Scheduler;
+///
+/// assert_eq!(Hpf::new().name(), "HPF");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hpf(());
+
+impl Hpf {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Hpf(())
+    }
+}
+
+impl Scheduler for Hpf {
+    fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize> {
+        ctx.candidates.iter().copied().min_by_key(|&i| {
+            let job = &ctx.queue[i];
+            (
+                ctx.graph.spec(job.task()).priority(),
+                job.release(),
+                job.id(),
+            )
+        })
+    }
+
+    fn name(&self) -> &str {
+        "HPF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::{fixture, job};
+
+    #[test]
+    fn picks_highest_static_priority() {
+        // Priorities in the fixture graph: task i has priority i.
+        let fx = fixture(vec![job(0, 2, 0.0, 50.0), job(1, 0, 0.0, 10.0)]);
+        let mut s = Hpf::new();
+        assert_eq!(s.select(&fx.ctx()), Some(1));
+    }
+
+    #[test]
+    fn ties_break_by_release_then_id() {
+        let fx = fixture(vec![job(7, 1, 2.0, 50.0), job(3, 1, 1.0, 50.0)]);
+        let mut s = Hpf::new();
+        assert_eq!(s.select(&fx.ctx()), Some(1));
+        let fx = fixture(vec![job(7, 1, 1.0, 50.0), job(3, 1, 1.0, 50.0)]);
+        assert_eq!(s.select(&fx.ctx()), Some(1));
+    }
+
+    #[test]
+    fn ignores_deadlines_entirely() {
+        // High-priority task with a loose deadline still beats an urgent
+        // low-priority task — HPF's defining weakness (§ VII-B1).
+        let fx = fixture(vec![job(0, 3, 0.0, 5.0), job(1, 0, 0.0, 10_000.0)]);
+        let mut s = Hpf::new();
+        assert_eq!(s.select(&fx.ctx()), Some(1));
+    }
+}

@@ -1,0 +1,576 @@
+//! The Dynamic Priority Scheduler (§ V).
+//!
+//! Each ready job gets a **dynamic scheduling priority**
+//!
+//! ```text
+//! P_i = γ·p_i + d_i                                      (paper Eq. 10)
+//! ```
+//!
+//! where `p_i` is the static priority (smaller = more important) and `d_i`
+//! is the *scheduling deadline* — the latest start delay that still meets
+//! the deadline, `d_i = D_i − c_i` (Eq. 9), evaluated here as the job's
+//! absolute laxity `release + D_i − now − c_i` so jobs released in different
+//! cycles compare correctly. The job with the smallest `P_i` dispatches
+//! first:
+//!
+//! * `γ = 0` → pure laxity/deadline order (throughput, guarantees);
+//! * large `γ` → static-priority order (control-task responsiveness).
+//!
+//! **Deriving γ (Eq. 11–12).** The scheduler computes the largest γ for
+//! which *every* ready job can still start in time under the γ-induced
+//! order:
+//!
+//! ```text
+//! c_j + ΣT_p/n_p + Σ_{P_i < P_j} c_i / n_p  <  D_j(remaining)   ∀ j
+//! ```
+//!
+//! then clamps the PDC's nominal `u(t)` into `[0, γ_max]`. Two search
+//! strategies are provided: a bisection that assumes the feasible set is the
+//! interval `[0, γ_max]` (the paper's framing, and the default), and an
+//! exact sweep over the *critical γ values* where the queue order changes —
+//! the ablation benchmark compares them.
+
+use hcperf_rtsim::{SchedContext, Scheduler};
+use hcperf_taskgraph::{SimSpan, SimTime};
+
+/// How the scheduler searches for `γ_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GammaSearch {
+    /// Bisection over `[0, ceiling]` assuming interval-shaped feasibility
+    /// (the paper's assumption). Cost `O(iter · n log n)`.
+    Bisection {
+        /// Number of bisection iterations (each halves the bracket).
+        iterations: u32,
+    },
+    /// Exact sweep over the `O(n²)` pairwise crossover points of
+    /// `P_i(γ) = P_j(γ)`; finds the true supremum of the feasible set.
+    CriticalPoints,
+}
+
+impl Default for GammaSearch {
+    fn default() -> Self {
+        GammaSearch::Bisection { iterations: 24 }
+    }
+}
+
+/// Configuration of the Dynamic Priority Scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpsConfig {
+    /// Absolute upper bound of the γ search, in seconds of laxity per
+    /// priority level.
+    pub gamma_ceiling: f64,
+    /// Search strategy for `γ_max`.
+    pub search: GammaSearch,
+    /// Minimum simulated time between γ recomputations (γ is also
+    /// recomputed whenever a new nominal `u` arrives).
+    pub recompute_interval: SimSpan,
+    /// Paper-literal Eq. 11: if **any** ready job cannot meet its deadline
+    /// under any order, treat the system as overloaded and force `γ = 0`.
+    /// When `false` (default), jobs that are already doomed at `γ = 0` are
+    /// excluded from the constraint set — no γ can save them, and keeping
+    /// them would pin `γ = 0` through every transient.
+    pub strict_eq11: bool,
+}
+
+impl Default for DpsConfig {
+    fn default() -> Self {
+        DpsConfig {
+            gamma_ceiling: 0.2,
+            search: GammaSearch::default(),
+            recompute_interval: SimSpan::from_millis(5.0),
+            strict_eq11: false,
+        }
+    }
+}
+
+/// The Dynamic Priority Scheduler.
+///
+/// Feed the nominal parameter from the Performance Directed Controller with
+/// [`set_nominal_u`](DynamicPriorityScheduler::set_nominal_u) once per
+/// control period; the scheduler derives and caches the actual coefficient
+/// γ and dispatches by Eq. 10.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf::dps::{DpsConfig, DynamicPriorityScheduler};
+/// use hcperf_rtsim::Scheduler;
+///
+/// let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+/// dps.set_nominal_u(0.05);
+/// assert_eq!(dps.name(), "HCPerf");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicPriorityScheduler {
+    config: DpsConfig,
+    nominal_u: f64,
+    gamma: f64,
+    gamma_max: f64,
+    last_compute: Option<SimTime>,
+    dirty: bool,
+}
+
+impl DynamicPriorityScheduler {
+    /// Creates a scheduler with `γ = 0` (deadline-driven) until the first
+    /// coordinator update.
+    #[must_use]
+    pub fn new(config: DpsConfig) -> Self {
+        DynamicPriorityScheduler {
+            config,
+            nominal_u: 0.0,
+            gamma: 0.0,
+            gamma_max: 0.0,
+            last_compute: None,
+            dirty: true,
+        }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> DpsConfig {
+        self.config
+    }
+
+    /// Sets the nominal priority-adjustment parameter `u(t)` from the
+    /// Performance Directed Controller; γ is re-derived at the next
+    /// dispatch point.
+    pub fn set_nominal_u(&mut self, u: f64) {
+        self.nominal_u = u;
+        self.dirty = true;
+    }
+
+    /// The current actual priority-adjustment coefficient γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The most recently derived `γ_max` bound.
+    #[must_use]
+    pub fn gamma_max(&self) -> f64 {
+        self.gamma_max
+    }
+
+    /// The current nominal parameter `u`.
+    #[must_use]
+    pub fn nominal_u(&self) -> f64 {
+        self.nominal_u
+    }
+
+    /// Dynamic scheduling priority `P_i` of queue entry `i` under the
+    /// current γ (Eq. 10), in seconds.
+    #[must_use]
+    pub fn dynamic_priority(&self, ctx: &SchedContext<'_>, index: usize) -> f64 {
+        priority_key(ctx, index, self.gamma)
+    }
+
+    /// Derives `γ_max` for the current queue (Eq. 11) and clamps the
+    /// nominal `u` into `[0, γ_max]` (Eq. 12). Exposed for benchmarks and
+    /// diagnostics; [`select`](Scheduler::select) calls it automatically.
+    pub fn recompute_gamma(&mut self, ctx: &SchedContext<'_>) {
+        self.gamma_max = match gamma_max(ctx, &self.config) {
+            Some(g) => g,
+            None => {
+                // Overloaded: no γ guarantees all deadlines (paper outcome 1).
+                self.gamma = 0.0;
+                self.gamma_max = 0.0;
+                self.last_compute = Some(ctx.now);
+                self.dirty = false;
+                return;
+            }
+        };
+        // Eq. 12: clamp u into [0, γ_max].
+        self.gamma = self.nominal_u.clamp(0.0, self.gamma_max);
+        self.last_compute = Some(ctx.now);
+        self.dirty = false;
+    }
+
+    fn maybe_recompute(&mut self, ctx: &SchedContext<'_>) {
+        let stale = match self.last_compute {
+            None => true,
+            Some(t) => ctx.now - t >= self.config.recompute_interval,
+        };
+        if self.dirty || stale {
+            self.recompute_gamma(ctx);
+        }
+    }
+}
+
+impl Scheduler for DynamicPriorityScheduler {
+    fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize> {
+        self.maybe_recompute(ctx);
+        let gamma = self.gamma;
+        ctx.candidates.iter().copied().min_by(|&a, &b| {
+            priority_key(ctx, a, gamma)
+                .total_cmp(&priority_key(ctx, b, gamma))
+                .then_with(|| ctx.queue[a].release().cmp(&ctx.queue[b].release()))
+                .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+        })
+    }
+
+    fn name(&self) -> &str {
+        "HCPerf"
+    }
+}
+
+/// `P_i = γ·p_i + d_i` for queue entry `index` (Eq. 10); `d_i` is the
+/// absolute laxity in seconds.
+fn priority_key(ctx: &SchedContext<'_>, index: usize, gamma: f64) -> f64 {
+    let job = &ctx.queue[index];
+    let p = ctx.graph.spec(job.task()).priority().value() as f64;
+    let laxity = job.laxity(ctx.now, ctx.exec_of(job)).as_secs();
+    gamma * p + laxity
+}
+
+/// Checks the Eq. 11 constraint system at a fixed γ.
+///
+/// Orders the whole ready queue by `P_i(γ)` and verifies each job can start
+/// early enough: `now + ΣT_p/n_p + Σ_{higher priority} c_i/n_p + c_j ≤
+/// absolute deadline`. `skip` marks jobs excluded from the constraints.
+fn feasible(ctx: &SchedContext<'_>, gamma: f64, skip: &[bool]) -> bool {
+    let n_p = ctx.processor_count() as f64;
+    let base = ctx.total_remaining().as_secs() / n_p;
+    let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
+    order.sort_by(|&a, &b| {
+        priority_key(ctx, a, gamma)
+            .total_cmp(&priority_key(ctx, b, gamma))
+            .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+    });
+    let mut higher_work = 0.0;
+    for &i in &order {
+        let job = &ctx.queue[i];
+        let c = ctx.exec_of(job).as_secs();
+        if !skip[i] {
+            let start_delay = base + higher_work / n_p;
+            let finish = ctx.now.as_secs() + start_delay + c;
+            if finish > job.absolute_deadline().as_secs() {
+                return false;
+            }
+        }
+        higher_work += c;
+    }
+    true
+}
+
+/// Finds `γ_max` per the configured strategy. Returns `None` when even
+/// `γ = 0` is infeasible (system overloaded).
+fn gamma_max(ctx: &SchedContext<'_>, config: &DpsConfig) -> Option<f64> {
+    if ctx.queue.is_empty() {
+        return Some(config.gamma_ceiling);
+    }
+    // Constraint set: under strict Eq. 11 every job constrains; otherwise
+    // drop jobs that are doomed even under the deadline-optimal γ = 0 order.
+    let no_skip = vec![false; ctx.queue.len()];
+    let skip = if config.strict_eq11 {
+        no_skip.clone()
+    } else {
+        doomed_at_zero(ctx)
+    };
+    if !feasible(ctx, 0.0, &skip) {
+        return None;
+    }
+    match config.search {
+        GammaSearch::Bisection { iterations } => {
+            if feasible(ctx, config.gamma_ceiling, &skip) {
+                return Some(config.gamma_ceiling);
+            }
+            let mut lo = 0.0;
+            let mut hi = config.gamma_ceiling;
+            for _ in 0..iterations {
+                let mid = 0.5 * (lo + hi);
+                if feasible(ctx, mid, &skip) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            Some(lo)
+        }
+        GammaSearch::CriticalPoints => {
+            // γ values where two jobs swap order: γ* = (d_b − d_a)/(p_a − p_b).
+            let mut points: Vec<f64> = Vec::new();
+            for a in 0..ctx.queue.len() {
+                for b in (a + 1)..ctx.queue.len() {
+                    let pa = ctx.graph.spec(ctx.queue[a].task()).priority().value() as f64;
+                    let pb = ctx.graph.spec(ctx.queue[b].task()).priority().value() as f64;
+                    if pa == pb {
+                        continue;
+                    }
+                    let da = ctx.queue[a]
+                        .laxity(ctx.now, ctx.exec_of(&ctx.queue[a]))
+                        .as_secs();
+                    let db = ctx.queue[b]
+                        .laxity(ctx.now, ctx.exec_of(&ctx.queue[b]))
+                        .as_secs();
+                    let crossing = (db - da) / (pa - pb);
+                    if crossing > 0.0 && crossing < config.gamma_ceiling {
+                        points.push(crossing);
+                    }
+                }
+            }
+            points.push(config.gamma_ceiling);
+            points.sort_by(f64::total_cmp);
+            points.dedup();
+            // The order of the queue is constant between consecutive
+            // crossover points, so feasibility is constant on each interval.
+            // Walk intervals from the top; the first feasible interval's
+            // upper bound is the supremum of the feasible set.
+            for i in (0..points.len()).rev() {
+                let lower = if i == 0 { 0.0 } else { points[i - 1] };
+                let probe = 0.5 * (lower + points[i]);
+                if feasible(ctx, probe, &skip) {
+                    return Some(points[i]);
+                }
+            }
+            Some(0.0)
+        }
+    }
+}
+
+/// Marks jobs that cannot meet their deadline even under the γ = 0 order.
+fn doomed_at_zero(ctx: &SchedContext<'_>) -> Vec<bool> {
+    let n_p = ctx.processor_count() as f64;
+    let base = ctx.total_remaining().as_secs() / n_p;
+    let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
+    order.sort_by(|&a, &b| {
+        priority_key(ctx, a, 0.0)
+            .total_cmp(&priority_key(ctx, b, 0.0))
+            .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+    });
+    let mut doomed = vec![false; ctx.queue.len()];
+    let mut higher_work = 0.0;
+    for &i in &order {
+        let job = &ctx.queue[i];
+        let c = ctx.exec_of(job).as_secs();
+        let finish = ctx.now.as_secs() + base + higher_work / n_p + c;
+        if finish > job.absolute_deadline().as_secs() {
+            doomed[i] = true;
+        }
+        higher_work += c;
+    }
+    doomed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcperf_rtsim::{Job, JobId};
+    use hcperf_taskgraph::{Priority, SimSpan, SimTime, TaskGraph, TaskId, TaskSpec};
+
+    /// Graph with 4 independent tasks of priorities 0..=3.
+    fn graph() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        for (i, p) in (0..4).enumerate() {
+            b.add_task(
+                TaskSpec::builder(format!("t{i}"))
+                    .priority(Priority::new(p))
+                    .relative_deadline(SimSpan::from_millis(100.0))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn job(id: u64, task: usize, release: f64, deadline_ms: f64) -> Job {
+        Job::new(
+            JobId::new(id),
+            TaskId::new(task),
+            0,
+            SimTime::from_secs(release),
+            SimSpan::from_millis(deadline_ms),
+            SimTime::from_secs(release),
+        )
+    }
+
+    struct Fixture {
+        graph: TaskGraph,
+        queue: Vec<Job>,
+        observed: Vec<SimSpan>,
+        remaining: Vec<SimSpan>,
+        candidates: Vec<usize>,
+    }
+
+    impl Fixture {
+        fn new(queue: Vec<Job>, exec_ms: f64, processors: usize) -> Self {
+            let n = queue.len();
+            Fixture {
+                graph: graph(),
+                observed: vec![SimSpan::from_millis(exec_ms); 4],
+                remaining: vec![SimSpan::ZERO; processors],
+                candidates: (0..n).collect(),
+                queue,
+            }
+        }
+
+        fn ctx(&self) -> SchedContext<'_> {
+            SchedContext {
+                now: SimTime::ZERO,
+                graph: &self.graph,
+                queue: &self.queue,
+                candidates: &self.candidates,
+                processor: 0,
+                observed_exec: &self.observed,
+                processor_remaining: &self.remaining,
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_zero_orders_by_laxity() {
+        // Task 3 (lowest static priority) has the tightest deadline.
+        let queue = vec![job(0, 0, 0.0, 100.0), job(1, 3, 0.0, 20.0)];
+        let fx = Fixture::new(queue, 5.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(0.0);
+        assert_eq!(dps.select(&fx.ctx()), Some(1));
+        assert_eq!(dps.gamma(), 0.0);
+    }
+
+    #[test]
+    fn large_u_orders_by_static_priority_when_feasible() {
+        // Loose deadlines: γ can grow to the ceiling, and the γ·p_i term
+        // (up to 0.2 s/level × 3 levels) outweighs the 0.2 s laxity gap, so
+        // static priority wins.
+        let queue = vec![job(0, 3, 0.0, 5000.0), job(1, 0, 0.0, 5200.0)];
+        let fx = Fixture::new(queue, 5.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(10.0); // clamped to γ_max = ceiling
+        let pick = dps.select(&fx.ctx());
+        assert_eq!(pick, Some(1), "task with priority 0 should win");
+        assert!((dps.gamma() - dps.config().gamma_ceiling).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_is_clamped_into_feasible_range() {
+        // Tight deadlines: γ_max < requested u; γ lands on γ_max.
+        let queue = vec![
+            job(0, 0, 0.0, 25.0),
+            job(1, 1, 0.0, 25.0),
+            job(2, 2, 0.0, 30.0),
+            job(3, 3, 0.0, 22.0),
+        ];
+        let fx = Fixture::new(queue, 10.0, 1);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(0.5);
+        dps.recompute_gamma(&fx.ctx());
+        assert!(dps.gamma() <= dps.gamma_max() + 1e-12);
+        assert!(dps.gamma_max() < 0.5, "γ_max {}", dps.gamma_max());
+        assert!(dps.gamma() >= 0.0);
+    }
+
+    #[test]
+    fn negative_u_clamps_to_zero() {
+        let queue = vec![job(0, 0, 0.0, 100.0)];
+        let fx = Fixture::new(queue, 5.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(-3.0);
+        dps.recompute_gamma(&fx.ctx());
+        assert_eq!(dps.gamma(), 0.0);
+    }
+
+    #[test]
+    fn strict_overload_forces_gamma_zero() {
+        // One job can never make it: 50 ms exec, 10 ms deadline.
+        let queue = vec![job(0, 0, 0.0, 10.0), job(1, 1, 0.0, 500.0)];
+        let mut fx = Fixture::new(queue, 50.0, 1);
+        fx.observed = vec![SimSpan::from_millis(50.0); 4];
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig {
+            strict_eq11: true,
+            ..Default::default()
+        });
+        dps.set_nominal_u(1.0);
+        dps.recompute_gamma(&fx.ctx());
+        assert_eq!(dps.gamma(), 0.0);
+        assert_eq!(dps.gamma_max(), 0.0);
+    }
+
+    #[test]
+    fn relaxed_mode_ignores_doomed_jobs() {
+        // Same overload, but the doomed job no longer pins γ at zero.
+        let queue = vec![job(0, 0, 0.0, 10.0), job(1, 1, 0.0, 500.0)];
+        let mut fx = Fixture::new(queue, 50.0, 1);
+        fx.observed = vec![SimSpan::from_millis(50.0); 4];
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(1.0);
+        dps.recompute_gamma(&fx.ctx());
+        assert!(dps.gamma() > 0.0, "γ {} should be positive", dps.gamma());
+    }
+
+    #[test]
+    fn bisection_and_critical_points_agree() {
+        let queue = vec![
+            job(0, 0, 0.0, 40.0),
+            job(1, 1, 0.0, 35.0),
+            job(2, 2, 0.0, 60.0),
+            job(3, 3, 0.0, 30.0),
+        ];
+        let fx = Fixture::new(queue, 8.0, 2);
+        let mut bis = DynamicPriorityScheduler::new(DpsConfig {
+            search: GammaSearch::Bisection { iterations: 40 },
+            ..Default::default()
+        });
+        let mut crit = DynamicPriorityScheduler::new(DpsConfig {
+            search: GammaSearch::CriticalPoints,
+            ..Default::default()
+        });
+        bis.set_nominal_u(10.0);
+        crit.set_nominal_u(10.0);
+        bis.recompute_gamma(&fx.ctx());
+        crit.recompute_gamma(&fx.ctx());
+        // The bisection converges to a point inside the top feasible
+        // interval whose supremum the critical-point sweep reports.
+        assert!(
+            (bis.gamma_max() - crit.gamma_max()).abs() < 1e-3,
+            "bisection {} vs critical {}",
+            bis.gamma_max(),
+            crit.gamma_max()
+        );
+    }
+
+    #[test]
+    fn empty_queue_gives_ceiling() {
+        let fx = Fixture::new(vec![], 5.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(10.0);
+        dps.recompute_gamma(&fx.ctx());
+        assert_eq!(dps.gamma_max(), dps.config().gamma_ceiling);
+    }
+
+    #[test]
+    fn recompute_respects_interval_and_dirty_flag() {
+        let queue = vec![job(0, 0, 0.0, 100.0)];
+        let fx = Fixture::new(queue, 5.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(0.05);
+        let _ = dps.select(&fx.ctx());
+        let g1 = dps.gamma();
+        // Same time, not dirty: no recompute needed; gamma unchanged.
+        let _ = dps.select(&fx.ctx());
+        assert_eq!(dps.gamma(), g1);
+        // New u marks dirty: recomputes immediately.
+        dps.set_nominal_u(0.0);
+        let _ = dps.select(&fx.ctx());
+        assert_eq!(dps.gamma(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_priority_is_monotone_in_gamma_for_fixed_job() {
+        let queue = vec![job(0, 2, 0.0, 100.0)];
+        let fx = Fixture::new(queue, 5.0, 2);
+        let ctx = fx.ctx();
+        let p_low = priority_key(&ctx, 0, 0.0);
+        let p_mid = priority_key(&ctx, 0, 0.05);
+        let p_high = priority_key(&ctx, 0, 0.2);
+        assert!(p_low < p_mid && p_mid < p_high);
+    }
+
+    #[test]
+    fn selection_is_deterministic_under_ties() {
+        // Two identical jobs: the earlier JobId wins.
+        let queue = vec![job(5, 1, 0.0, 50.0), job(3, 1, 0.0, 50.0)];
+        let fx = Fixture::new(queue, 5.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        assert_eq!(dps.select(&fx.ctx()), Some(1));
+    }
+}

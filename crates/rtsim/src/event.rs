@@ -1,0 +1,200 @@
+//! The discrete-event queue.
+//!
+//! Events are delivered in non-decreasing time order; ties are broken by
+//! insertion sequence so the simulation is fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hcperf_taskgraph::{SimTime, TaskId};
+
+use crate::job::JobId;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A source task releases a new job (and re-arms its next release).
+    SourceRelease {
+        /// The source task releasing.
+        task: TaskId,
+    },
+    /// The job running on `processor` finishes.
+    JobCompleted {
+        /// Processor index that becomes idle.
+        processor: usize,
+    },
+    /// Check whether a queued job has expired (its deadline passed without
+    /// the job being started).
+    ExpiryCheck {
+        /// Job to check.
+        job: JobId,
+    },
+    /// A job's GPU post-processing finished: its output becomes visible to
+    /// successors (and to the command stream) now.
+    OutputReady {
+        /// The job whose output is ready.
+        job: JobId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Firing time.
+    pub time: SimTime,
+    /// Insertion sequence number (tie-break).
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_rtsim::event::{EventKind, EventQueue};
+/// use hcperf_taskgraph::{SimTime, TaskId};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), EventKind::SourceRelease { task: TaskId::new(0) });
+/// q.push(SimTime::from_secs(1.0), EventKind::SourceRelease { task: TaskId::new(1) });
+/// let first = q.pop().unwrap();
+/// assert_eq!(first.time, SimTime::from_secs(1.0));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Returns the earliest event time without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn release(task: usize) -> EventKind {
+        EventKind::SourceRelease {
+            task: TaskId::new(task),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), release(0));
+        q.push(SimTime::from_secs(1.0), release(1));
+        q.push(SimTime::from_secs(2.0), release(2));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_secs())
+            .collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        q.push(t, release(10));
+        q.push(t, release(11));
+        q.push(t, release(12));
+        let tasks: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::SourceRelease { task } => task.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tasks, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5.0), release(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn mixed_event_kinds_order_correctly() {
+        let mut q = EventQueue::new();
+        q.push(
+            SimTime::from_secs(2.0),
+            EventKind::JobCompleted { processor: 1 },
+        );
+        q.push(
+            SimTime::from_secs(2.0),
+            EventKind::ExpiryCheck { job: JobId::new(4) },
+        );
+        q.push(SimTime::from_secs(1.5), release(3));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::SourceRelease { .. }
+        ));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::JobCompleted { processor: 1 }
+        ));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::ExpiryCheck { .. }
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! Text Gantt rendering of execution traces.
+//!
+//! Turns a [`Trace`] into per-processor timelines for
+//! debugging scheduler behaviour and for schedule figures like the paper's
+//! Fig. 5:
+//!
+//! ```text
+//! p0 |Aaaa Bbb  Cc |
+//! p1 |Dddddd    Ee |
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use hcperf_taskgraph::{SimTime, TaskGraph, TaskId};
+
+use crate::job::JobId;
+use crate::trace::{Trace, TraceEvent};
+
+/// One executed slot on a processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttSlot {
+    /// The job that ran.
+    pub job: JobId,
+    /// Its task.
+    pub task: TaskId,
+    /// Processor index.
+    pub processor: usize,
+    /// Dispatch time.
+    pub start: SimTime,
+    /// Completion time (`None` if the trace ended mid-execution).
+    pub end: Option<SimTime>,
+    /// Whether the deadline was met (`None` while unfinished).
+    pub met_deadline: Option<bool>,
+}
+
+/// Extracts per-processor execution slots from a trace.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_rtsim::{gantt, FifoScheduler, Sim, SimConfig};
+/// use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+/// use hcperf_taskgraph::SimTime;
+///
+/// let graph = apollo_graph(&GraphOptions::default())?;
+/// let mut sim = Sim::new(
+///     graph,
+///     SimConfig { trace_capacity: 10_000, ..Default::default() },
+///     FifoScheduler::new(),
+/// )?;
+/// sim.run_until(SimTime::from_millis(200.0));
+/// let slots = gantt::slots(sim.trace());
+/// assert!(!slots.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn slots(trace: &Trace) -> Vec<GanttSlot> {
+    let mut open: HashMap<JobId, usize> = HashMap::new();
+    let mut out: Vec<GanttSlot> = Vec::new();
+    for event in trace.events() {
+        match *event {
+            TraceEvent::Dispatched {
+                time,
+                job,
+                task,
+                processor,
+            } => {
+                open.insert(job, out.len());
+                out.push(GanttSlot {
+                    job,
+                    task,
+                    processor,
+                    start: time,
+                    end: None,
+                    met_deadline: None,
+                });
+            }
+            TraceEvent::Completed {
+                time,
+                job,
+                met_deadline,
+                ..
+            } => {
+                if let Some(&idx) = open.get(&job) {
+                    out[idx].end = Some(time);
+                    out[idx].met_deadline = Some(met_deadline);
+                    open.remove(&job);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders per-processor timelines as fixed-resolution text rows.
+///
+/// Each column covers `resolution` seconds; a slot prints the first letter
+/// of its task's name (uppercase if the deadline was met, `!` marks a slot
+/// that finished late). Idle time prints `.`.
+#[must_use]
+pub fn render(trace: &Trace, graph: &TaskGraph, until: SimTime, resolution: f64) -> String {
+    assert!(resolution > 0.0, "resolution must be positive");
+    let slots = slots(trace);
+    let processors = slots.iter().map(|s| s.processor + 1).max().unwrap_or(1);
+    let columns = (until.as_secs() / resolution).ceil() as usize;
+    let mut rows = vec![vec!['.'; columns]; processors];
+    for slot in &slots {
+        let end = slot.end.unwrap_or(until).as_secs().min(until.as_secs());
+        let start_col = (slot.start.as_secs() / resolution).floor() as usize;
+        let end_col = ((end / resolution).ceil() as usize).max(start_col + 1);
+        let name = graph.spec(slot.task).name();
+        let letter = match slot.met_deadline {
+            Some(false) => '!',
+            _ => name.chars().next().unwrap_or('?').to_ascii_uppercase(),
+        };
+        for cell in &mut rows[slot.processor][start_col..end_col.min(columns)] {
+            *cell = letter;
+        }
+    }
+    let mut out = String::new();
+    for (p, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "p{p} |{}|", row.iter().collect::<String>());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FifoScheduler;
+    use crate::sim::{Sim, SimConfig};
+    use hcperf_taskgraph::{ExecModel, RateRange, SimSpan, Stage, TaskGraph as Tg, TaskSpec};
+
+    fn sim() -> Sim<FifoScheduler> {
+        let mut b = Tg::builder();
+        b.add_task(
+            TaskSpec::builder("alpha")
+                .stage(Stage::Sensing)
+                .exec_model(ExecModel::constant(SimSpan::from_millis(20.0)))
+                .relative_deadline(SimSpan::from_millis(80.0))
+                .rate_range(RateRange::from_hz(10.0, 10.0))
+                .build()
+                .unwrap(),
+        );
+        b.add_task(
+            TaskSpec::builder("beta")
+                .stage(Stage::Sensing)
+                .exec_model(ExecModel::constant(SimSpan::from_millis(30.0)))
+                .relative_deadline(SimSpan::from_millis(80.0))
+                .rate_range(RateRange::from_hz(10.0, 10.0))
+                .build()
+                .unwrap(),
+        );
+        Sim::new(
+            b.build().unwrap(),
+            SimConfig {
+                processors: 2,
+                trace_capacity: 10_000,
+                ..Default::default()
+            },
+            FifoScheduler::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn slots_pair_dispatch_with_completion() {
+        let mut s = sim();
+        s.run_until(SimTime::from_millis(350.0));
+        let slots = slots(s.trace());
+        assert!(slots.len() >= 6, "{}", slots.len());
+        for slot in &slots {
+            let end = slot.end.expect("all completed");
+            assert!(end > slot.start);
+            assert_eq!(slot.met_deadline, Some(true));
+        }
+    }
+
+    #[test]
+    fn render_shows_tasks_and_idle_time() {
+        let mut s = sim();
+        s.run_until(SimTime::from_millis(200.0));
+        let g = s.graph().clone();
+        let text = render(s.trace(), &g, SimTime::from_millis(200.0), 0.01);
+        assert!(text.contains("p0 |"));
+        assert!(text.contains("p1 |"));
+        assert!(text.contains('A'));
+        assert!(text.contains('B'));
+        assert!(text.contains('.'));
+        // 20 columns at 10 ms resolution over 200 ms.
+        let first = text.lines().next().unwrap();
+        assert_eq!(first.len(), "p0 ||".len() + 20);
+    }
+
+    #[test]
+    fn late_slots_render_as_bang() {
+        // One processor, two 30 ms tasks per 100 ms cycle, 25 ms deadlines:
+        // the second task always finishes late.
+        let mut b = Tg::builder();
+        for name in ["one", "two"] {
+            b.add_task(
+                TaskSpec::builder(name)
+                    .stage(Stage::Sensing)
+                    .exec_model(ExecModel::constant(SimSpan::from_millis(30.0)))
+                    .relative_deadline(SimSpan::from_millis(25.0))
+                    .rate_range(RateRange::from_hz(10.0, 10.0))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let mut s = Sim::new(
+            b.build().unwrap(),
+            SimConfig {
+                processors: 1,
+                trace_capacity: 10_000,
+                expire_queued_jobs: false,
+                ..Default::default()
+            },
+            FifoScheduler::new(),
+        )
+        .unwrap();
+        s.run_until(SimTime::from_millis(300.0));
+        let g = s.graph().clone();
+        let text = render(s.trace(), &g, SimTime::from_millis(300.0), 0.005);
+        assert!(
+            text.contains('!'),
+            "late executions must be marked:\n{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn render_rejects_zero_resolution() {
+        let s = sim();
+        let g = s.graph().clone();
+        let _ = render(s.trace(), &g, SimTime::from_millis(100.0), 0.0);
+    }
+}

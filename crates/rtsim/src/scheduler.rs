@@ -1,0 +1,221 @@
+//! The pluggable scheduler interface.
+//!
+//! Whenever a processor is idle and the ready queue is non-empty, the
+//! simulator asks the [`Scheduler`] to pick the next job. The scheduler
+//! sees the full ready queue, the set of candidate indices permitted on the
+//! idle processor (affinity-filtered by the engine), per-task observed
+//! execution times (the paper's `c_i`: "the execution time from the last
+//! run of the task"), and the remaining processing time on every processor
+//! (the paper's `T_p`).
+//!
+//! Scheduling is non-preemptive: once dispatched, a job runs to completion.
+
+use hcperf_taskgraph::{SimSpan, SimTime, TaskGraph};
+
+use crate::job::Job;
+
+/// Read-only view the engine hands to the scheduler at each dispatch point.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The task graph being executed.
+    pub graph: &'a TaskGraph,
+    /// The full ready queue (release order).
+    pub queue: &'a [Job],
+    /// Indices into `queue` that may run on `processor` (affinity-filtered).
+    pub candidates: &'a [usize],
+    /// The processor being filled.
+    pub processor: usize,
+    /// Per-task observed execution time `c_i` (last run; nominal before any
+    /// observation). Indexed by `TaskId::index()`.
+    pub observed_exec: &'a [SimSpan],
+    /// Remaining processing time `T_p` of the job currently running on each
+    /// processor ([`SimSpan::ZERO`] for idle processors).
+    pub processor_remaining: &'a [SimSpan],
+}
+
+impl SchedContext<'_> {
+    /// Observed execution time of a job's task.
+    #[must_use]
+    pub fn exec_of(&self, job: &Job) -> SimSpan {
+        self.observed_exec[job.task().index()]
+    }
+
+    /// Total remaining processing time over all processors (`Σ T_p`).
+    #[must_use]
+    pub fn total_remaining(&self) -> SimSpan {
+        self.processor_remaining
+            .iter()
+            .fold(SimSpan::ZERO, |a, &b| a + b)
+    }
+
+    /// Number of processors (`n_p`).
+    #[must_use]
+    pub fn processor_count(&self) -> usize {
+        self.processor_remaining.len()
+    }
+}
+
+/// A non-preemptive multiprocessor scheduling policy.
+///
+/// Implementations must return either `None` (leave the processor idle) or
+/// `Some(i)` with `i` taken from [`SchedContext::candidates`].
+pub trait Scheduler {
+    /// Picks the next job for `ctx.processor`, returning an index into
+    /// `ctx.queue` drawn from `ctx.candidates`.
+    fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize>;
+
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize> {
+        (**self).select(ctx)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// First-in-first-out reference scheduler: dispatches the earliest-released
+/// candidate. Useful as a baseline sanity check and in engine tests.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_rtsim::FifoScheduler;
+/// use hcperf_rtsim::Scheduler;
+///
+/// let s = FifoScheduler::new();
+/// assert_eq!(s.name(), "FIFO");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler(());
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        FifoScheduler(())
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize> {
+        ctx.candidates
+            .iter()
+            .copied()
+            .min_by_key(|&i| (ctx.queue[i].release(), ctx.queue[i].id()))
+    }
+
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use hcperf_taskgraph::{TaskGraph, TaskId, TaskSpec};
+
+    fn tiny_graph() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        b.add_task(TaskSpec::builder("a").build().unwrap());
+        b.add_task(TaskSpec::builder("b").build().unwrap());
+        b.build().unwrap()
+    }
+
+    fn job(id: u64, task: usize, release: f64) -> Job {
+        Job::new(
+            JobId::new(id),
+            TaskId::new(task),
+            0,
+            SimTime::from_secs(release),
+            SimSpan::from_millis(100.0),
+            SimTime::from_secs(release),
+        )
+    }
+
+    #[test]
+    fn fifo_picks_earliest_release_among_candidates() {
+        let graph = tiny_graph();
+        let queue = vec![job(0, 0, 3.0), job(1, 1, 1.0), job(2, 0, 2.0)];
+        let observed = vec![SimSpan::from_millis(5.0); 2];
+        let remaining = vec![SimSpan::ZERO; 2];
+        let mut fifo = FifoScheduler::new();
+
+        let all = vec![0, 1, 2];
+        let ctx = SchedContext {
+            now: SimTime::from_secs(4.0),
+            graph: &graph,
+            queue: &queue,
+            candidates: &all,
+            processor: 0,
+            observed_exec: &observed,
+            processor_remaining: &remaining,
+        };
+        assert_eq!(fifo.select(&ctx), Some(1));
+
+        // Restricted candidates: pick the earliest among them only.
+        let restricted = vec![0, 2];
+        let ctx = SchedContext {
+            candidates: &restricted,
+            ..ctx
+        };
+        assert_eq!(fifo.select(&ctx), Some(2));
+
+        // No candidates: leave idle.
+        let none: Vec<usize> = vec![];
+        let ctx = SchedContext {
+            candidates: &none,
+            ..ctx
+        };
+        assert_eq!(fifo.select(&ctx), None);
+    }
+
+    #[test]
+    fn context_helpers() {
+        let graph = tiny_graph();
+        let queue = vec![job(0, 1, 0.0)];
+        let observed = vec![SimSpan::from_millis(5.0), SimSpan::from_millis(8.0)];
+        let remaining = vec![SimSpan::from_millis(3.0), SimSpan::from_millis(7.0)];
+        let cands = vec![0];
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            graph: &graph,
+            queue: &queue,
+            candidates: &cands,
+            processor: 0,
+            observed_exec: &observed,
+            processor_remaining: &remaining,
+        };
+        assert_eq!(ctx.exec_of(&queue[0]), SimSpan::from_millis(8.0));
+        assert!((ctx.total_remaining().as_millis() - 10.0).abs() < 1e-9);
+        assert_eq!(ctx.processor_count(), 2);
+    }
+
+    #[test]
+    fn boxed_scheduler_delegates() {
+        let mut boxed: Box<dyn Scheduler> = Box::new(FifoScheduler::new());
+        assert_eq!(boxed.name(), "FIFO");
+        let graph = tiny_graph();
+        let queue = vec![job(0, 0, 0.0)];
+        let observed = vec![SimSpan::ZERO; 2];
+        let remaining = vec![SimSpan::ZERO];
+        let cands = vec![0];
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            graph: &graph,
+            queue: &queue,
+            candidates: &cands,
+            processor: 0,
+            observed_exec: &observed,
+            processor_remaining: &remaining,
+        };
+        assert_eq!(boxed.select(&ctx), Some(0));
+    }
+}

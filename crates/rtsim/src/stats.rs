@@ -1,0 +1,437 @@
+//! Simulation statistics: deadline accounting, response times, utilization.
+//!
+//! The engine updates [`SimStats`] as jobs are released, dispatched and
+//! completed. The external coordinator samples *windowed* deadline-miss
+//! ratios `m(k)` via [`SimStats::take_window`], which drains the counters
+//! accumulated since the previous call — one call per control period.
+
+use hcperf_taskgraph::{SimSpan, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobOutcome;
+
+/// Counters over one observation window (one external-coordinator period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Jobs completed at or before their deadline in the window.
+    pub met: u64,
+    /// Jobs completed after their deadline in the window.
+    pub missed_late: u64,
+    /// Jobs expired in the ready queue in the window.
+    pub expired: u64,
+}
+
+impl WindowStats {
+    /// Total jobs resolved in the window.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.met + self.missed_late + self.expired
+    }
+
+    /// Deadline-miss ratio `m(k)` in the window; `0` for an empty window.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.missed_late + self.expired) as f64 / total as f64
+        }
+    }
+}
+
+/// Per-task cumulative counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Jobs released.
+    pub released: u64,
+    /// Jobs dispatched to a processor.
+    pub dispatched: u64,
+    /// Jobs that met their deadline.
+    pub met: u64,
+    /// Jobs that completed late.
+    pub missed_late: u64,
+    /// Jobs that expired queued.
+    pub expired: u64,
+}
+
+impl TaskStats {
+    /// Cumulative miss ratio for this task.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let resolved = self.met + self.missed_late + self.expired;
+        if resolved == 0 {
+            0.0
+        } else {
+            (self.missed_late + self.expired) as f64 / resolved as f64
+        }
+    }
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    per_task: Vec<TaskStats>,
+    window: WindowStats,
+    total: WindowStats,
+    released: u64,
+    dispatched: u64,
+    busy: Vec<SimSpan>,
+    commands_emitted: u64,
+    response_time_sum: f64,
+    response_time_count: u64,
+    e2e_sum: f64,
+    e2e_count: u64,
+    response_samples: Vec<f64>,
+    e2e_samples: Vec<f64>,
+    task_response_worst: Vec<f64>,
+    task_response_sum: Vec<f64>,
+    task_response_count: Vec<u64>,
+}
+
+impl SimStats {
+    /// Creates statistics for `tasks` tasks on `processors` processors.
+    #[must_use]
+    pub fn new(tasks: usize, processors: usize) -> Self {
+        SimStats {
+            per_task: vec![TaskStats::default(); tasks],
+            window: WindowStats::default(),
+            total: WindowStats::default(),
+            released: 0,
+            dispatched: 0,
+            busy: vec![SimSpan::ZERO; processors],
+            commands_emitted: 0,
+            response_time_sum: 0.0,
+            response_time_count: 0,
+            e2e_sum: 0.0,
+            e2e_count: 0,
+            response_samples: Vec::new(),
+            e2e_samples: Vec::new(),
+            task_response_worst: vec![0.0; tasks],
+            task_response_sum: vec![0.0; tasks],
+            task_response_count: vec![0; tasks],
+        }
+    }
+
+    /// Records a job release.
+    pub fn on_release(&mut self, task: usize) {
+        self.released += 1;
+        self.per_task[task].released += 1;
+    }
+
+    /// Records a dispatch that will keep a processor busy for `exec`.
+    pub fn on_dispatch(&mut self, task: usize, processor: usize, exec: SimSpan) {
+        self.dispatched += 1;
+        self.per_task[task].dispatched += 1;
+        self.busy[processor] += exec;
+    }
+
+    /// Records a job resolution (completion or expiry).
+    pub fn on_outcome(&mut self, task: usize, outcome: JobOutcome) {
+        let (w, t, pt) = (&mut self.window, &mut self.total, &mut self.per_task[task]);
+        match outcome {
+            JobOutcome::Met => {
+                w.met += 1;
+                t.met += 1;
+                pt.met += 1;
+            }
+            JobOutcome::MissedLate => {
+                w.missed_late += 1;
+                t.missed_late += 1;
+                pt.missed_late += 1;
+            }
+            JobOutcome::Expired => {
+                w.expired += 1;
+                t.expired += 1;
+                pt.expired += 1;
+            }
+        }
+    }
+
+    /// Upper bound on retained latency samples (percentile reservoir).
+    const MAX_SAMPLES: usize = 200_000;
+
+    /// Records a control command with its response time and end-to-end
+    /// latency.
+    pub fn on_command(&mut self, response: SimSpan, end_to_end: SimSpan) {
+        self.commands_emitted += 1;
+        self.response_time_sum += response.as_secs();
+        self.response_time_count += 1;
+        self.e2e_sum += end_to_end.as_secs();
+        self.e2e_count += 1;
+        if self.response_samples.len() < Self::MAX_SAMPLES {
+            self.response_samples.push(response.as_secs());
+            self.e2e_samples.push(end_to_end.as_secs());
+        }
+    }
+
+    /// Records one job's response time (release → output availability) for
+    /// its task.
+    pub fn on_response(&mut self, task: usize, response: SimSpan) {
+        let r = response.as_secs();
+        if r > self.task_response_worst[task] {
+            self.task_response_worst[task] = r;
+        }
+        self.task_response_sum[task] += r;
+        self.task_response_count[task] += 1;
+    }
+
+    /// Worst observed response time of `task`, if it ever completed.
+    #[must_use]
+    pub fn task_worst_response(&self, task: usize) -> Option<SimSpan> {
+        (self.task_response_count[task] > 0)
+            .then(|| SimSpan::from_secs(self.task_response_worst[task]))
+    }
+
+    /// Mean observed response time of `task`, if it ever completed.
+    #[must_use]
+    pub fn task_mean_response(&self, task: usize) -> Option<SimSpan> {
+        let n = self.task_response_count[task];
+        (n > 0).then(|| SimSpan::from_secs(self.task_response_sum[task] / n as f64))
+    }
+
+    /// Drains and returns the counters accumulated since the last call —
+    /// the external coordinator's `m(k)` sample.
+    pub fn take_window(&mut self) -> WindowStats {
+        std::mem::take(&mut self.window)
+    }
+
+    /// Peeks at the current window without draining.
+    #[must_use]
+    pub fn window(&self) -> WindowStats {
+        self.window
+    }
+
+    /// Cumulative counters over the whole run.
+    #[must_use]
+    pub fn totals(&self) -> WindowStats {
+        self.total
+    }
+
+    /// Cumulative per-task counters.
+    #[must_use]
+    pub fn task(&self, task: usize) -> TaskStats {
+        self.per_task[task]
+    }
+
+    /// All per-task counters.
+    #[must_use]
+    pub fn per_task(&self) -> &[TaskStats] {
+        &self.per_task
+    }
+
+    /// Total jobs released.
+    #[must_use]
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Total jobs dispatched.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of control commands emitted.
+    #[must_use]
+    pub fn commands_emitted(&self) -> u64 {
+        self.commands_emitted
+    }
+
+    /// Mean control-task response time over the run, if any commands were
+    /// emitted.
+    #[must_use]
+    pub fn mean_response_time(&self) -> Option<SimSpan> {
+        if self.response_time_count == 0 {
+            None
+        } else {
+            Some(SimSpan::from_secs(
+                self.response_time_sum / self.response_time_count as f64,
+            ))
+        }
+    }
+
+    /// Mean end-to-end (source→command) latency, if any.
+    #[must_use]
+    pub fn mean_end_to_end(&self) -> Option<SimSpan> {
+        if self.e2e_count == 0 {
+            None
+        } else {
+            Some(SimSpan::from_secs(self.e2e_sum / self.e2e_count as f64))
+        }
+    }
+
+    /// Percentile of the control-task response times (nearest-rank), e.g.
+    /// `p = 0.99` for the tail the paper's responsiveness study cares
+    /// about. `None` when no command has been emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    #[must_use]
+    pub fn response_time_percentile(&self, p: f64) -> Option<SimSpan> {
+        percentile(&self.response_samples, p).map(SimSpan::from_secs)
+    }
+
+    /// Percentile of the end-to-end latencies (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    #[must_use]
+    pub fn end_to_end_percentile(&self, p: f64) -> Option<SimSpan> {
+        percentile(&self.e2e_samples, p).map(SimSpan::from_secs)
+    }
+
+    /// Utilization of `processor` over `[0, now]`.
+    #[must_use]
+    pub fn utilization(&self, processor: usize, now: SimTime) -> f64 {
+        let elapsed = now.as_secs();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            (self.busy[processor].as_secs() / elapsed).min(1.0)
+        }
+    }
+
+    /// Mean utilization over all processors.
+    #[must_use]
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        if self.busy.is_empty() {
+            return 0.0;
+        }
+        self.busy
+            .iter()
+            .enumerate()
+            .map(|(p, _)| self.utilization(p, now))
+            .sum::<f64>()
+            / self.busy.len() as f64
+    }
+}
+
+/// Nearest-rank percentile of unsorted samples.
+fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_miss_ratio() {
+        let w = WindowStats {
+            met: 6,
+            missed_late: 2,
+            expired: 2,
+        };
+        assert_eq!(w.total(), 10);
+        assert!((w.miss_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(WindowStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn take_window_drains_but_keeps_totals() {
+        let mut s = SimStats::new(2, 1);
+        s.on_outcome(0, JobOutcome::Met);
+        s.on_outcome(1, JobOutcome::MissedLate);
+        let w = s.take_window();
+        assert_eq!(w.met, 1);
+        assert_eq!(w.missed_late, 1);
+        assert_eq!(s.window().total(), 0);
+        assert_eq!(s.totals().total(), 2);
+        s.on_outcome(0, JobOutcome::Expired);
+        assert_eq!(s.window().expired, 1);
+        assert_eq!(s.totals().expired, 1);
+    }
+
+    #[test]
+    fn per_task_counters_track_outcomes() {
+        let mut s = SimStats::new(3, 2);
+        s.on_release(1);
+        s.on_dispatch(1, 0, SimSpan::from_millis(10.0));
+        s.on_outcome(1, JobOutcome::Met);
+        s.on_release(1);
+        s.on_outcome(1, JobOutcome::Expired);
+        let t = s.task(1);
+        assert_eq!(t.released, 2);
+        assert_eq!(t.dispatched, 1);
+        assert_eq!(t.met, 1);
+        assert_eq!(t.expired, 1);
+        assert!((t.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.task(0).released, 0);
+    }
+
+    #[test]
+    fn command_means() {
+        let mut s = SimStats::new(1, 1);
+        assert!(s.mean_response_time().is_none());
+        s.on_command(SimSpan::from_millis(10.0), SimSpan::from_millis(100.0));
+        s.on_command(SimSpan::from_millis(30.0), SimSpan::from_millis(200.0));
+        assert_eq!(s.commands_emitted(), 2);
+        assert!((s.mean_response_time().unwrap().as_millis() - 20.0).abs() < 1e-9);
+        assert!((s.mean_end_to_end().unwrap().as_millis() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_task_response_times_track_worst_and_mean() {
+        let mut s = SimStats::new(2, 1);
+        assert!(s.task_worst_response(0).is_none());
+        s.on_response(0, SimSpan::from_millis(10.0));
+        s.on_response(0, SimSpan::from_millis(30.0));
+        s.on_response(0, SimSpan::from_millis(20.0));
+        assert_eq!(
+            s.task_worst_response(0).unwrap(),
+            SimSpan::from_millis(30.0)
+        );
+        assert_eq!(s.task_mean_response(0).unwrap(), SimSpan::from_millis(20.0));
+        assert!(s.task_worst_response(1).is_none());
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut s = SimStats::new(1, 1);
+        assert!(s.response_time_percentile(0.5).is_none());
+        for ms in [10.0, 20.0, 30.0, 40.0] {
+            s.on_command(SimSpan::from_millis(ms), SimSpan::from_millis(ms * 10.0));
+        }
+        assert_eq!(
+            s.response_time_percentile(0.5).unwrap(),
+            SimSpan::from_millis(20.0)
+        );
+        assert_eq!(
+            s.response_time_percentile(1.0).unwrap(),
+            SimSpan::from_millis(40.0)
+        );
+        assert_eq!(
+            s.end_to_end_percentile(0.25).unwrap(),
+            SimSpan::from_millis(100.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_zero() {
+        let s = SimStats::new(1, 1);
+        let _ = s.response_time_percentile(0.0);
+    }
+
+    #[test]
+    fn utilization_accumulates_busy_time() {
+        let mut s = SimStats::new(1, 2);
+        s.on_dispatch(0, 0, SimSpan::from_secs(2.0));
+        s.on_dispatch(0, 1, SimSpan::from_secs(1.0));
+        let now = SimTime::from_secs(4.0);
+        assert!((s.utilization(0, now) - 0.5).abs() < 1e-12);
+        assert!((s.utilization(1, now) - 0.25).abs() < 1e-12);
+        assert!((s.mean_utilization(now) - 0.375).abs() < 1e-12);
+        assert_eq!(s.utilization(0, SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Closed-loop lane keeping on the oval track (§ VII-B2, Fig. 14).
+//!
+//! The vehicle drives the clockwise oval at a fixed 5 m/s; the control task
+//! computes a steering angle from the (delayed) Frenet state and the
+//! scheduler decides when fresh steering reaches the wheels. Performance
+//! metric: lateral offset from the lane centerline.
+
+use hcperf::{CoordinatorConfig, DpsConfig, HcPerf, PeriodInput, Scheme};
+use hcperf_rtsim::{Sim, SimConfig};
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::{LoadProfile, Rate, SimSpan, SimTime, TaskId};
+use hcperf_vehicle::{BicycleCar, BicycleConfig, LaneKeepController, OvalTrack, Track};
+
+use crate::car_following::ScenarioError;
+use crate::metrics::TimeSeries;
+
+/// Configuration of a lane-keeping run.
+#[derive(Debug, Clone)]
+pub struct LaneKeepingConfig {
+    /// Scheduling scheme under test.
+    pub scheme: Scheme,
+    /// Total simulated time in seconds (one lap at 5 m/s ≈ 65 s).
+    pub duration: f64,
+    /// Vehicle physics step in seconds.
+    pub physics_dt: f64,
+    /// Coordinator control period in seconds.
+    pub control_period: f64,
+    /// Fixed longitudinal speed (the paper uses 5 m/s).
+    pub speed: f64,
+    /// Track geometry.
+    pub track: OvalTrack,
+    /// Bicycle-model parameters.
+    pub bicycle: BicycleConfig,
+    /// Steering law.
+    pub steer: LaneKeepController,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of processors.
+    pub processors: usize,
+    /// Fixed source rate for baselines (Hz).
+    pub baseline_rate_hz: f64,
+    /// HCPerf initial rate position in `[0, 1]` of each range.
+    pub hcperf_initial_rate_fraction: f64,
+    /// Obstacle-count profile (inflates fusion cost in turns if desired).
+    pub load: LoadProfile,
+    /// Execution-time jitter fraction.
+    pub jitter_frac: f64,
+    /// Dynamic Priority Scheduler configuration.
+    pub dps: DpsConfig,
+    /// Coordinator configuration.
+    pub coordinator: CoordinatorConfig,
+    /// Steering command timeout in seconds: with no fresh command, the
+    /// low-level controller eases the wheel back to center.
+    pub command_timeout: f64,
+    /// Samples before this time are excluded from the RMS.
+    pub warmup: f64,
+}
+
+impl LaneKeepingConfig {
+    /// The § VII-B2 setup: 5 m/s on the oval loop, two laps. Scene
+    /// complexity (and hence fusion cost) rises inside the turns — more of
+    /// the world sweeps through the sensor field of view — which is exactly
+    /// when steering freshness matters.
+    #[must_use]
+    pub fn paper_loop(scheme: Scheme) -> Self {
+        let track = OvalTrack::paper_loop();
+        let speed = 5.0;
+        // Obstacle load: 3 on the straights, 10 inside each 180° turn.
+        let lap = track.total_length() / speed;
+        let straight = track.straight_length() / speed;
+        let turn = track.turn_length() / speed;
+        let mut segments = vec![(SimTime::ZERO, 3.0)];
+        for lap_idx in 0..2 {
+            let base = lap_idx as f64 * lap;
+            segments.push((SimTime::from_secs(base + straight), 10.0));
+            segments.push((SimTime::from_secs(base + straight + turn), 3.0));
+            segments.push((SimTime::from_secs(base + 2.0 * straight + turn), 10.0));
+            segments.push((SimTime::from_secs(base + 2.0 * straight + 2.0 * turn), 3.0));
+        }
+        let mut coordinator = CoordinatorConfig::default();
+        coordinator.rate.zero_miss_bonus = 0.01;
+        coordinator.rate.target_miss_ratio = 0.0;
+        coordinator.rate.reset_threshold = 0.6;
+        coordinator.rate.gain_decay = 0.9;
+        LaneKeepingConfig {
+            scheme,
+            duration: 130.0,
+            physics_dt: 0.005,
+            control_period: 0.1,
+            speed,
+            track,
+            bicycle: BicycleConfig::default(),
+            steer: LaneKeepController::default(),
+            seed: 42,
+            processors: 4,
+            baseline_rate_hz: 24.0,
+            hcperf_initial_rate_fraction: 0.2,
+            load: LoadProfile::piecewise(segments),
+            jitter_frac: 0.1,
+            dps: DpsConfig::default(),
+            coordinator,
+            command_timeout: 0.5,
+            warmup: 5.0,
+        }
+    }
+}
+
+/// Aggregates and series of a lane-keeping run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LaneKeepingResult {
+    /// Scheme that produced this result.
+    pub scheme: Scheme,
+    /// RMS of the lateral offset after warm-up (Table IV).
+    pub rms_lateral_offset: f64,
+    /// Maximum |lateral offset| after warm-up.
+    pub max_lateral_offset: f64,
+    /// Control commands delivered.
+    pub commands: u64,
+    /// Whole-run deadline miss ratio.
+    pub overall_miss_ratio: f64,
+    /// Lateral offset over time (Fig. 14b).
+    pub lateral_offset: TimeSeries,
+    /// Arc position over time (locating the turns).
+    pub arc_position: TimeSeries,
+    /// Per-period miss ratio.
+    pub miss_ratio: TimeSeries,
+    /// HCPerf γ over time.
+    pub gamma: TimeSeries,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SensedFrenet {
+    t: f64,
+    lateral_offset: f64,
+    heading_error: f64,
+    curvature: f64,
+}
+
+/// Runs a lane-keeping scenario to completion.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the graph, simulator or coordinator cannot
+/// be constructed.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hcperf::Scheme;
+/// use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
+///
+/// let mut config = LaneKeepingConfig::paper_loop(Scheme::HcPerf);
+/// config.duration = 20.0;
+/// let result = run_lane_keeping(&config)?;
+/// println!("RMS lateral offset: {:.3} m", result.rms_lateral_offset);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_lane_keeping(config: &LaneKeepingConfig) -> Result<LaneKeepingResult, ScenarioError> {
+    let graph_opts = GraphOptions {
+        jitter_frac: config.jitter_frac,
+        with_affinity: config.scheme.uses_affinity(),
+        processors: config.processors,
+    };
+    let graph = apollo_graph(&graph_opts)?;
+    let fusion = graph.find("sensor_fusion").expect("fusion exists");
+
+    let scheduler = config.scheme.build(config.dps);
+    let sim_config = SimConfig {
+        processors: config.processors,
+        seed: config.seed,
+        load: config.load.clone(),
+        staleness_bound: Some(hcperf_taskgraph::SimSpan::from_millis(60.0)),
+        join_policy: hcperf_rtsim::JoinPolicy::SameCycle,
+        expire_queued_jobs: false,
+        release_jitter_frac: 0.15,
+        ..Default::default()
+    };
+    let mut coordinator = if config.scheme.uses_coordinators() {
+        let mut cc = config.coordinator;
+        cc.period = SimSpan::from_secs(config.control_period);
+        // Lane-keeping errors are tens of centimeters, not m/s: rescale the
+        // PDC so a 0.1 m offset drives u as strongly as ~1 m/s did, and
+        // shrink the deadband accordingly.
+        cc.pdc.error_scale *= 10.0;
+        cc.pdc.deadband = 0.01;
+        Some(HcPerf::new(cc, &graph)?)
+    } else {
+        None
+    };
+    let mut sim = Sim::new(graph, sim_config, scheduler)?;
+
+    let initial: Vec<(TaskId, Rate)> = sim
+        .source_rates()
+        .iter()
+        .map(|&(task, rate)| {
+            let spec = sim.graph().spec(task);
+            let applied = match (config.scheme.uses_coordinators(), spec.rate_range()) {
+                (true, Some(range)) => range.lerp(config.hcperf_initial_rate_fraction),
+                (false, Some(range)) => range.clamp(Rate::from_hz(config.baseline_rate_hz)),
+                _ => rate,
+            };
+            (task, applied)
+        })
+        .collect();
+    for (task, rate) in initial {
+        sim.set_source_rate(task, rate)?;
+    }
+
+    let mut car = BicycleCar::new(config.bicycle);
+    let mut held_steer = 0.0f64;
+    let mut last_cmd_t = 0.0f64;
+    let mut history: Vec<SensedFrenet> =
+        Vec::with_capacity((config.duration / config.physics_dt) as usize + 2);
+
+    let mut result = LaneKeepingResult {
+        scheme: config.scheme,
+        rms_lateral_offset: 0.0,
+        max_lateral_offset: 0.0,
+        commands: 0,
+        overall_miss_ratio: 0.0,
+        lateral_offset: TimeSeries::new("lateral_offset"),
+        arc_position: TimeSeries::new("arc_position"),
+        miss_ratio: TimeSeries::new("miss_ratio"),
+        gamma: TimeSeries::new("gamma"),
+    };
+
+    let mut sq = 0.0f64;
+    let mut count = 0u64;
+    let steps = (config.duration / config.physics_dt).round() as usize;
+    let control_every = (config.control_period / config.physics_dt).round().max(1.0) as usize;
+
+    for step in 0..steps {
+        let t = step as f64 * config.physics_dt;
+        history.push(SensedFrenet {
+            t,
+            lateral_offset: car.lateral_offset(),
+            heading_error: car.heading_error(),
+            curvature: config.track.curvature(car.arc_position()),
+        });
+
+        sim.run_until(SimTime::from_secs(t));
+        for cmd in sim.drain_commands() {
+            let sensed = lookup(&history, cmd.chain_released_at.as_secs());
+            held_steer = config.steer.steer(
+                sensed.lateral_offset,
+                sensed.heading_error,
+                sensed.curvature,
+            );
+            last_cmd_t = cmd.emitted_at.as_secs();
+            result.commands += 1;
+        }
+
+        // Stale steering eases back toward center (chassis watchdog).
+        let effective_steer = if t - last_cmd_t <= config.command_timeout {
+            held_steer
+        } else {
+            held_steer * (0.2f64).powf((t - last_cmd_t - config.command_timeout).min(5.0))
+        };
+        car.step(
+            config.speed,
+            effective_steer,
+            config.physics_dt,
+            &config.track,
+        );
+
+        if t >= config.warmup {
+            sq += car.lateral_offset().powi(2);
+            count += 1;
+            result.max_lateral_offset = result.max_lateral_offset.max(car.lateral_offset().abs());
+        }
+
+        if step % control_every == 0 {
+            let window = sim.stats_mut().take_window();
+            let m_k = window.miss_ratio();
+            if let Some(coord) = coordinator.as_mut() {
+                let rates = sim.source_rates();
+                let decision = coord.on_period(PeriodInput {
+                    tracking_error: car.lateral_offset(),
+                    miss_ratio: m_k,
+                    exec_signal: sim.observed_exec(fusion).as_secs(),
+                    current_rates: &rates,
+                });
+                sim.scheduler_mut().set_nominal_u(decision.nominal_u);
+                for (task, rate) in decision.new_rates {
+                    sim.set_source_rate(task, rate)?;
+                }
+            }
+            result.lateral_offset.push(t, car.lateral_offset());
+            result.arc_position.push(t, car.arc_position());
+            result.miss_ratio.push(t, m_k);
+            result.gamma.push(t, sim.scheduler().gamma().unwrap_or(0.0));
+        }
+    }
+
+    result.rms_lateral_offset = if count > 0 {
+        (sq / count as f64).sqrt()
+    } else {
+        0.0
+    };
+    result.overall_miss_ratio = sim.stats().totals().miss_ratio();
+    Ok(result)
+}
+
+fn lookup(history: &[SensedFrenet], t: f64) -> SensedFrenet {
+    match history.binary_search_by(|s| s.t.total_cmp(&t)) {
+        Ok(i) => history[i],
+        Err(0) => history[0],
+        Err(i) => history[i - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(scheme: Scheme) -> LaneKeepingConfig {
+        let mut c = LaneKeepingConfig::paper_loop(scheme);
+        c.duration = 40.0; // into the first turn
+        c
+    }
+
+    #[test]
+    fn drives_and_steers() {
+        let r = run_lane_keeping(&short(Scheme::Edf)).unwrap();
+        assert!(r.commands > 100);
+        // 40 s at 5 m/s ≈ 200 m of arc progress.
+        let final_arc = r.arc_position.last().unwrap();
+        assert!((150.0..250.0).contains(&final_arc), "arc {final_arc}");
+    }
+
+    #[test]
+    fn offsets_stay_bounded_with_scheduling() {
+        let r = run_lane_keeping(&short(Scheme::Edf)).unwrap();
+        assert!(
+            r.max_lateral_offset < 1.5,
+            "car should stay near the lane: {}",
+            r.max_lateral_offset
+        );
+        assert!(r.rms_lateral_offset > 0.0);
+    }
+
+    #[test]
+    fn straights_have_near_zero_offset() {
+        let r = run_lane_keeping(&short(Scheme::EdfVd)).unwrap();
+        // While on the initial straight (first ~19 s at 5 m/s < 100 m), the
+        // offset stays essentially zero (Fig. 14b).
+        let early_rms = r.lateral_offset.rms_between(1.0, 15.0);
+        assert!(early_rms < 0.02, "straight-line RMS {early_rms}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_lane_keeping(&short(Scheme::HcPerf)).unwrap();
+        let b = run_lane_keeping(&short(Scheme::HcPerf)).unwrap();
+        assert_eq!(a.rms_lateral_offset, b.rms_lateral_offset);
+    }
+}

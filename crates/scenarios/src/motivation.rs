@@ -1,0 +1,283 @@
+//! The § II motivation study (Fig. 1/4).
+//!
+//! Car A (autonomous, car following) trails car B at 10 m/s on an urban
+//! road. At `t = 5 s` the lead driver sees a red light and brakes; at the
+//! same time the camera/LiDAR pick up the crowd of vehicles and pedestrians
+//! waiting at the intersection, which inflates the configurable sensor
+//! fusion's `O(n³)` matching cost. Under Apollo-style fixed-priority
+//! scheduling the deadline-miss ratio climbs (Fig. 4a), speed updates
+//! become sluggish and the gap collapses to a collision (Fig. 4b, at
+//! `t ≈ 23.4 s` in the paper).
+
+use hcperf::{CoordinatorConfig, DpsConfig, HcPerf, PeriodInput, Scheme};
+use hcperf_rtsim::{Sim, SimConfig};
+use hcperf_taskgraph::graphs::{motivation_graph, GraphOptions};
+use hcperf_taskgraph::{LoadProfile, Rate, SimTime, TaskId};
+use hcperf_vehicle::{
+    CarFollowController, FollowConfig, LeadProfile, LongitudinalCar, LongitudinalConfig,
+};
+
+use crate::car_following::ScenarioError;
+use crate::metrics::TimeSeries;
+
+/// Configuration of the motivation study.
+#[derive(Debug, Clone)]
+pub struct MotivationConfig {
+    /// Scheduling scheme (the paper uses the Apollo/fixed-priority policy;
+    /// re-run with [`Scheme::HcPerf`] to see the contrast).
+    pub scheme: Scheme,
+    /// Total simulated time in seconds.
+    pub duration: f64,
+    /// Physics step in seconds.
+    pub physics_dt: f64,
+    /// Number of processors (the motivation example is resource-pinched).
+    pub processors: usize,
+    /// Initial bumper-to-bumper gap in meters.
+    pub initial_gap: f64,
+    /// Fixed source rate (Hz).
+    pub source_rate_hz: f64,
+    /// Obstacle-count profile (the intersection crowd).
+    pub load: LoadProfile,
+    /// RNG seed.
+    pub seed: u64,
+    /// Chassis command timeout in seconds (stale commands decay to
+    /// coasting).
+    pub command_timeout: f64,
+}
+
+impl Default for MotivationConfig {
+    fn default() -> Self {
+        MotivationConfig {
+            scheme: Scheme::Apollo,
+            duration: 30.0,
+            physics_dt: 0.005,
+            processors: 2,
+            initial_gap: 15.0,
+            source_rate_hz: 20.0,
+            // The crowd at the red light: obstacles ramp from 2 to 16
+            // between t = 5 s and t = 12 s and stay (they are waiting).
+            load: LoadProfile::ramp(SimTime::from_secs(5.0), 2.0, SimTime::from_secs(12.0), 18.0),
+            seed: 42,
+            command_timeout: 0.3,
+        }
+    }
+}
+
+/// Outcome of the motivation study.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MotivationResult {
+    /// Scheme used.
+    pub scheme: Scheme,
+    /// Per-second deadline-miss ratio (Fig. 4a).
+    pub miss_ratio_per_sec: Vec<(f64, f64)>,
+    /// Speed difference `v_lead − v_follow` over time (Fig. 4b).
+    pub speed_difference: TimeSeries,
+    /// Gap over time.
+    pub gap: TimeSeries,
+    /// First collision time, if the cars collide.
+    pub collision_time: Option<f64>,
+    /// Whole-run miss ratio.
+    pub overall_miss_ratio: f64,
+    /// Miss ratio before the braking event (should be near zero).
+    pub miss_ratio_before_event: f64,
+    /// Miss ratio after the braking event (rises under fixed priority).
+    pub miss_ratio_after_event: f64,
+}
+
+/// Runs the motivation scenario.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] on graph or simulator construction failure.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
+///
+/// let result = run_motivation(&MotivationConfig::default())?;
+/// if let Some(t) = result.collision_time {
+///     println!("collision at t = {t:.1} s");
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_motivation(config: &MotivationConfig) -> Result<MotivationResult, ScenarioError> {
+    let graph = motivation_graph(&GraphOptions {
+        jitter_frac: 0.1,
+        with_affinity: false,
+        processors: config.processors,
+    })?;
+    let scheduler = config.scheme.build(DpsConfig::default());
+    let mut coordinator = if config.scheme.uses_coordinators() {
+        let mut cc = CoordinatorConfig::default();
+        cc.pdc.error_scale = 0.1;
+        cc.pdc.deadband = 0.02;
+        Some(HcPerf::new(cc, &graph).map_err(ScenarioError::from)?)
+    } else {
+        None
+    };
+    let mut sim = Sim::new(
+        graph,
+        SimConfig {
+            processors: config.processors,
+            seed: config.seed,
+            load: config.load.clone(),
+            staleness_bound: Some(hcperf_taskgraph::SimSpan::from_millis(60.0)),
+            join_policy: hcperf_rtsim::JoinPolicy::SameCycle,
+            expire_queued_jobs: false,
+            release_jitter_frac: 0.15,
+            ..Default::default()
+        },
+        scheduler,
+    )?;
+    let fusion = sim.graph().find("sensor_fusion").expect("fusion exists");
+    let sources: Vec<TaskId> = sim.source_rates().iter().map(|&(t, _)| t).collect();
+    for task in sources {
+        sim.set_source_rate(task, Rate::from_hz(config.source_rate_hz))?;
+    }
+
+    let lead = LeadProfile::motivation_red_light();
+    let mut follower =
+        LongitudinalCar::with_state(LongitudinalConfig::default(), -config.initial_gap, 10.0);
+    let mut controller = CarFollowController::new(FollowConfig::default());
+    let mut lead_position = 0.0f64;
+    let mut held_accel = 0.0f64;
+    let mut last_cmd_t = 0.0f64;
+    // Sensing history for delayed command computation.
+    let mut history: Vec<(f64, f64, f64, f64)> = Vec::new();
+
+    let mut result = MotivationResult {
+        scheme: config.scheme,
+        miss_ratio_per_sec: Vec::new(),
+        speed_difference: TimeSeries::new("speed_difference"),
+        gap: TimeSeries::new("gap"),
+        collision_time: None,
+        overall_miss_ratio: 0.0,
+        miss_ratio_before_event: 0.0,
+        miss_ratio_after_event: 0.0,
+    };
+    let mut window = (0u64, 0u64);
+    let mut before = (0u64, 0u64);
+    let mut after = (0u64, 0u64);
+    let mut next_second = 1.0f64;
+
+    let steps = (config.duration / config.physics_dt).round() as usize;
+    for step in 0..steps {
+        let t = step as f64 * config.physics_dt;
+        let lead_speed = lead.speed_at(t);
+        let gap = lead_position - follower.position();
+        history.push((t, lead_speed, follower.speed(), gap));
+
+        sim.run_until(SimTime::from_secs(t));
+        for cmd in sim.drain_commands() {
+            let sensed_t = cmd.chain_released_at.as_secs();
+            let idx = history.partition_point(|(ht, ..)| *ht <= sensed_t);
+            let (st, ls, os, g) = history[idx.saturating_sub(1)];
+            let eidx = history.partition_point(|(ht, ..)| *ht <= sensed_t - 0.1);
+            let (et, els, ..) = history[eidx.saturating_sub(1)];
+            let lead_accel = (ls - els) / (st - et).max(config.physics_dt);
+            let dt_cmd = (cmd.emitted_at.as_secs() - last_cmd_t).max(config.physics_dt);
+            held_accel = controller.command(ls, lead_accel, os, g, dt_cmd);
+            last_cmd_t = cmd.emitted_at.as_secs();
+        }
+        let effective_accel = if t - last_cmd_t <= config.command_timeout {
+            held_accel
+        } else {
+            0.0
+        };
+        follower.step(effective_accel, config.physics_dt);
+        lead_position +=
+            0.5 * (lead_speed + lead.speed_at(t + config.physics_dt)) * config.physics_dt;
+
+        if gap <= 0.0 && result.collision_time.is_none() {
+            result.collision_time = Some(t);
+        }
+        if step % 20 == 0 {
+            result
+                .speed_difference
+                .push(t, lead_speed - follower.speed());
+            result.gap.push(t, gap.max(0.0));
+            let w = sim.stats_mut().take_window();
+            window.0 += w.missed_late + w.expired;
+            window.1 += w.total();
+            let bucket = if t < 5.0 { &mut before } else { &mut after };
+            bucket.0 += w.missed_late + w.expired;
+            bucket.1 += w.total();
+            if let Some(coord) = coordinator.as_mut() {
+                let rates = sim.source_rates();
+                let decision = coord.on_period(PeriodInput {
+                    tracking_error: lead_speed - follower.speed(),
+                    miss_ratio: w.miss_ratio(),
+                    exec_signal: sim.observed_exec(fusion).as_secs(),
+                    current_rates: &rates,
+                });
+                sim.scheduler_mut().set_nominal_u(decision.nominal_u);
+                for (task, rate) in decision.new_rates {
+                    sim.set_source_rate(task, rate)?;
+                }
+            }
+        }
+        if t >= next_second {
+            let ratio = if window.1 > 0 {
+                window.0 as f64 / window.1 as f64
+            } else {
+                0.0
+            };
+            result.miss_ratio_per_sec.push((next_second, ratio));
+            window = (0, 0);
+            next_second += 1.0;
+        }
+    }
+    result.overall_miss_ratio = sim.stats().totals().miss_ratio();
+    result.miss_ratio_before_event = ratio_of(before);
+    result.miss_ratio_after_event = ratio_of(after);
+    Ok(result)
+}
+
+fn ratio_of((missed, total): (u64, u64)) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        missed as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_rises_after_braking_event() {
+        let r = run_motivation(&MotivationConfig::default()).unwrap();
+        assert!(
+            r.miss_ratio_after_event > r.miss_ratio_before_event,
+            "before {} after {}",
+            r.miss_ratio_before_event,
+            r.miss_ratio_after_event
+        );
+        assert!(
+            r.miss_ratio_after_event > 0.05,
+            "overload must cause misses, got {}",
+            r.miss_ratio_after_event
+        );
+    }
+
+    #[test]
+    fn speed_gap_grows_during_braking() {
+        let r = run_motivation(&MotivationConfig::default()).unwrap();
+        // Shortly after braking begins, the follower lags the lead's
+        // deceleration: speed difference goes negative (lead slower).
+        let early = r.speed_difference.nearest(3.0).unwrap();
+        let during = r.speed_difference.nearest(10.0).unwrap();
+        assert!(early.abs() < 1.0, "steady state before event: {early}");
+        assert!(during < early, "follower should lag braking: {during}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_motivation(&MotivationConfig::default()).unwrap();
+        let b = run_motivation(&MotivationConfig::default()).unwrap();
+        assert_eq!(a.collision_time, b.collision_time);
+        assert_eq!(a.overall_miss_ratio, b.overall_miss_ratio);
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-scheme experiment runner.
+//!
+//! Every evaluation figure compares the same scenario across all five
+//! schemes; this module runs them and collects the per-scheme results.
+
+use hcperf::Scheme;
+
+use crate::car_following::{
+    run_car_following, CarFollowingConfig, CarFollowingResult, ScenarioError,
+};
+use crate::lane_keeping::{run_lane_keeping, LaneKeepingConfig, LaneKeepingResult};
+
+/// Runs the car-following scenario for every scheme, keeping all other
+/// configuration identical.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`].
+pub fn compare_car_following(
+    base: &CarFollowingConfig,
+) -> Result<Vec<CarFollowingResult>, ScenarioError> {
+    Scheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let mut config = base.clone();
+            config.scheme = scheme;
+            run_car_following(&config)
+        })
+        .collect()
+}
+
+/// Runs the lane-keeping scenario for every scheme.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`].
+pub fn compare_lane_keeping(
+    base: &LaneKeepingConfig,
+) -> Result<Vec<LaneKeepingResult>, ScenarioError> {
+    Scheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let mut config = base.clone();
+            config.scheme = scheme;
+            run_lane_keeping(&config)
+        })
+        .collect()
+}
+
+/// Mean and population standard deviation of per-seed samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStats {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Population standard deviation across seeds.
+    pub std_dev: f64,
+}
+
+impl SeedStats {
+    fn from_samples(samples: &[f64]) -> SeedStats {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        SeedStats {
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Per-scheme aggregates of a multi-seed car-following comparison.
+#[derive(Debug, Clone)]
+pub struct SeededComparison {
+    /// Scheme evaluated.
+    pub scheme: Scheme,
+    /// RMS speed tracking error across seeds.
+    pub rms_speed_error: SeedStats,
+    /// RMS distance tracking error across seeds.
+    pub rms_distance_error: SeedStats,
+    /// Whole-run miss ratio across seeds.
+    pub overall_miss_ratio: SeedStats,
+}
+
+/// Runs the car-following scenario for every scheme over several seeds and
+/// aggregates the headline metrics — how the hardware tables (V/VI) are
+/// produced, since the scaled-car runs are noisy.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`].
+pub fn compare_car_following_seeded(
+    base: &CarFollowingConfig,
+    seeds: &[u64],
+) -> Result<Vec<SeededComparison>, ScenarioError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    Scheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let mut speed = Vec::with_capacity(seeds.len());
+            let mut dist = Vec::with_capacity(seeds.len());
+            let mut miss = Vec::with_capacity(seeds.len());
+            for &seed in seeds {
+                let mut config = base.clone();
+                config.scheme = scheme;
+                config.seed = seed;
+                let r = run_car_following(&config)?;
+                speed.push(r.rms_speed_error);
+                dist.push(r.rms_distance_error);
+                miss.push(r.overall_miss_ratio);
+            }
+            Ok(SeededComparison {
+                scheme,
+                rms_speed_error: SeedStats::from_samples(&speed),
+                rms_distance_error: SeedStats::from_samples(&dist),
+                overall_miss_ratio: SeedStats::from_samples(&miss),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_comparison_aggregates() {
+        let mut base = CarFollowingConfig::paper_simulation(Scheme::Hpf);
+        base.duration = 5.0;
+        base.fusion_step = None;
+        base.record_series = false;
+        let results = compare_car_following_seeded(&base, &[1, 2]).unwrap();
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.rms_speed_error.mean.is_finite());
+            assert!(r.rms_speed_error.std_dev >= 0.0);
+            assert!((0.0..=1.0).contains(&r.overall_miss_ratio.mean));
+        }
+    }
+
+    #[test]
+    fn seed_stats_math() {
+        let s = SeedStats::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 1.0);
+    }
+
+    #[test]
+    fn comparison_covers_all_schemes_in_order() {
+        let mut base = CarFollowingConfig::paper_simulation(Scheme::Hpf);
+        base.duration = 6.0;
+        base.fusion_step = None;
+        base.record_series = false;
+        let results = compare_car_following(&base).unwrap();
+        let schemes: Vec<Scheme> = results.iter().map(|r| r.scheme).collect();
+        assert_eq!(schemes, Scheme::all().to_vec());
+        assert!(results.iter().all(|r| r.commands > 0));
+    }
+}

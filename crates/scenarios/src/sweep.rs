@@ -1,0 +1,163 @@
+//! Parameter sweeps: rate → deadline-miss/throughput curves.
+//!
+//! The Task Rate Adapter's whole premise is that the miss-ratio-vs-rate
+//! curve has a knee: flat near zero below the system's capacity, rising
+//! past it. This module sweeps pipeline rates for any scheme and reports
+//! the curve — useful both for validating that premise and for choosing
+//! baseline rates in experiments.
+
+use hcperf::{DpsConfig, Scheme};
+use hcperf_rtsim::{JoinPolicy, Sim, SimConfig};
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::{LoadProfile, Rate, SimTime};
+
+use crate::car_following::ScenarioError;
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Pipeline rate probed (Hz).
+    pub rate_hz: f64,
+    /// Whole-run deadline-miss ratio at that rate.
+    pub miss_ratio: f64,
+    /// Control commands emitted per simulated second.
+    pub commands_per_sec: f64,
+    /// Mean end-to-end latency in milliseconds (0 when no command).
+    pub mean_e2e_ms: f64,
+}
+
+/// Configuration of a rate sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Scheduling scheme under test.
+    pub scheme: Scheme,
+    /// Rates to probe (Hz).
+    pub rates_hz: Vec<f64>,
+    /// Seconds to simulate per point.
+    pub duration: f64,
+    /// Number of processors.
+    pub processors: usize,
+    /// Obstacle load during the sweep.
+    pub load: LoadProfile,
+    /// Execution-time jitter fraction.
+    pub jitter_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            scheme: Scheme::Edf,
+            rates_hz: (1..=9).map(|k| k as f64 * 5.0).collect(),
+            duration: 5.0,
+            processors: 4,
+            load: LoadProfile::constant(0.0),
+            jitter_frac: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Sweeps pipeline rates over the Fig. 11 graph and returns the
+/// miss/throughput curve.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] on graph or simulator construction failure.
+pub fn rate_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, ScenarioError> {
+    let graph = apollo_graph(&GraphOptions {
+        jitter_frac: config.jitter_frac,
+        with_affinity: config.scheme.uses_affinity(),
+        processors: config.processors,
+    })?;
+    let mut out = Vec::with_capacity(config.rates_hz.len());
+    for &rate_hz in &config.rates_hz {
+        let mut sim = Sim::new(
+            graph.clone(),
+            SimConfig {
+                processors: config.processors,
+                seed: config.seed,
+                load: config.load.clone(),
+                join_policy: JoinPolicy::SameCycle,
+                expire_queued_jobs: false,
+                ..Default::default()
+            },
+            config.scheme.build(DpsConfig::default()),
+        )?;
+        let sources: Vec<_> = sim.source_rates().iter().map(|&(t, _)| t).collect();
+        for s in sources {
+            sim.set_source_rate(s, Rate::from_hz(rate_hz))?;
+        }
+        sim.run_until(SimTime::from_secs(config.duration));
+        out.push(SweepPoint {
+            rate_hz,
+            miss_ratio: sim.stats().totals().miss_ratio(),
+            commands_per_sec: sim.stats().commands_emitted() as f64 / config.duration,
+            mean_e2e_ms: sim.stats().mean_end_to_end().map_or(0.0, |d| d.as_millis()),
+        });
+    }
+    Ok(out)
+}
+
+/// Locates the capacity knee: the lowest probed rate whose miss ratio
+/// exceeds `threshold`. `None` if the system never saturates in the sweep.
+#[must_use]
+pub fn knee(points: &[SweepPoint], threshold: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.miss_ratio > threshold)
+        .map(|p| p.rate_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(scheme: Scheme) -> Vec<SweepPoint> {
+        rate_sweep(&SweepConfig {
+            scheme,
+            rates_hz: vec![10.0, 20.0, 30.0, 40.0],
+            duration: 4.0,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_ratio_curve_has_a_knee() {
+        let points = sweep(Scheme::Edf);
+        assert!(points[0].miss_ratio < 0.01, "10 Hz is easy: {points:?}");
+        let last = points.last().unwrap();
+        assert!(last.miss_ratio > 0.05, "40 Hz overloads: {points:?}");
+        let k = knee(&points, 0.02).expect("knee inside the sweep");
+        assert!((20.0..=40.0).contains(&k), "knee at {k} Hz");
+    }
+
+    #[test]
+    fn throughput_saturates_past_the_knee() {
+        let points = sweep(Scheme::Edf);
+        // Below the knee, command throughput tracks the rate.
+        assert!(points[1].commands_per_sec > points[0].commands_per_sec * 1.5);
+        // Past the knee it stops scaling (cycles die instead).
+        let gain_past_knee = points[3].commands_per_sec / points[2].commands_per_sec;
+        assert!(gain_past_knee < 1.33, "gain {gain_past_knee}");
+    }
+
+    #[test]
+    fn e2e_latency_grows_with_congestion() {
+        let points = sweep(Scheme::Edf);
+        assert!(points[2].mean_e2e_ms > points[0].mean_e2e_ms, "{points:?}");
+    }
+
+    #[test]
+    fn knee_returns_none_for_easy_sweeps() {
+        let points = rate_sweep(&SweepConfig {
+            rates_hz: vec![5.0, 10.0],
+            duration: 3.0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(knee(&points, 0.5), None);
+    }
+}

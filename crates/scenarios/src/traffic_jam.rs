@@ -1,0 +1,123 @@
+//! The § VII-C responsiveness/throughput study (Fig. 16/17).
+//!
+//! Both cars cruise at 20 m/s; at `t = 10 s` the lead decelerates into a
+//! traffic jam while the surrounding vehicle count surges (inflating task
+//! execution times); the jam clears after `t = 20 s`. HCPerf should
+//! sacrifice throughput for responsiveness while the tracking error is
+//! large, then restore throughput (passenger comfort) afterwards.
+
+use hcperf::Scheme;
+use hcperf_taskgraph::{LoadProfile, SimTime};
+use hcperf_vehicle::LeadProfile;
+
+use crate::car_following::{CarFollowingConfig, CarFollowingResult};
+use crate::metrics::{discomfort_index, TimeSeries};
+
+/// Builds the § VII-C configuration on top of the car-following harness.
+#[must_use]
+pub fn traffic_jam_config(scheme: Scheme) -> CarFollowingConfig {
+    let mut config = CarFollowingConfig::paper_simulation(scheme);
+    config.duration = 40.0;
+    config.lead = LeadProfile::traffic_jam();
+    config.initial_speed = 20.0;
+    // Start at the controller's target gap so the pre-jam phase is steady.
+    config.initial_gap = config.follow.headway * 20.0 + config.follow.standstill_gap;
+    // Recovering the safety gap after the squeeze needs a stronger
+    // gap-regulation term — and no speed-loop integral, which would cancel
+    // the gap term in steady state and freeze the deficit.
+    config.follow.gap_gain = 1.0;
+    config.follow.speed_integral_gain = 0.0;
+    config.fusion_step = None;
+    // The surrounding-traffic surge: at the jam onset the obstacle count
+    // spikes so hard that fusion briefly cannot meet any deadline (the
+    // paper's tracking-error spike to ~5 m), then settles to a heavy but
+    // workable level until the jam clears.
+    config.load = LoadProfile::piecewise(vec![
+        (SimTime::ZERO, 2.0),
+        (SimTime::from_secs(10.0), 14.0),
+        (SimTime::from_secs(12.0), 11.0),
+        (SimTime::from_secs(20.0), 2.0),
+    ]);
+    config.warmup = 2.0;
+    config
+}
+
+/// Derived Fig. 16/17 views of a traffic-jam run.
+#[derive(Debug, Clone)]
+pub struct ResponsivenessReport {
+    /// Gap-deficit tracking error in meters (Fig. 17a): how far inside the
+    /// desired gap the follower has been squeezed.
+    pub tracking_error_m: TimeSeries,
+    /// Mean control response time per second, in ms (Fig. 17b, left axis).
+    pub response_ms_per_sec: Vec<(f64, f64)>,
+    /// Passenger discomfort (RMS jerk per 1 s window; Fig. 17b, right
+    /// axis).
+    pub discomfort: Vec<(f64, f64)>,
+    /// Control commands delivered per second (throughput).
+    pub commands_per_sec: Vec<(f64, f64)>,
+}
+
+/// Post-processes a car-following result into the Fig. 16/17 views.
+#[must_use]
+pub fn analyze_responsiveness(result: &CarFollowingResult) -> ResponsivenessReport {
+    // Gap deficit: positive when the car is closer than the target gap.
+    let mut tracking = TimeSeries::new("tracking_error_m");
+    for (t, dist_err) in result.distance_error.iter() {
+        tracking.push(t, (-dist_err).max(0.0));
+    }
+    let response_ms_per_sec = result.response_times.bucket_mean(1.0);
+    let discomfort = discomfort_index(&result.acceleration, 1.0);
+    // Commands per second: count response-time samples per bucket.
+    let mut counts: Vec<(f64, f64)> = Vec::new();
+    for (t, _) in result.response_times.iter() {
+        let bucket = t.floor();
+        match counts.last_mut() {
+            Some((b, n)) if (*b - bucket).abs() < 1e-9 => *n += 1.0,
+            _ => counts.push((bucket, 1.0)),
+        }
+    }
+    ResponsivenessReport {
+        tracking_error_m: tracking,
+        response_ms_per_sec,
+        discomfort,
+        commands_per_sec: counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::car_following::run_car_following;
+
+    #[test]
+    fn jam_creates_then_resolves_tracking_error() {
+        let config = traffic_jam_config(Scheme::HcPerf);
+        let result = run_car_following(&config).unwrap();
+        let report = analyze_responsiveness(&result);
+        // Pre-jam: negligible gap deficit.
+        let pre = report.tracking_error_m.rms_between(5.0, 10.0);
+        // During the jam onset the deficit spikes.
+        let during = report
+            .tracking_error_m
+            .iter()
+            .filter(|(t, _)| (10.0..22.0).contains(t))
+            .map(|(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(pre < 1.0, "pre-jam deficit {pre}");
+        assert!(during > pre, "jam must create deficit: {during} vs {pre}");
+        assert!(result.collision_time.is_none(), "HCPerf avoids collision");
+    }
+
+    #[test]
+    fn report_shapes_are_populated() {
+        let mut config = traffic_jam_config(Scheme::HcPerf);
+        config.duration = 15.0;
+        let result = run_car_following(&config).unwrap();
+        let report = analyze_responsiveness(&result);
+        assert!(!report.response_ms_per_sec.is_empty());
+        assert!(!report.discomfort.is_empty());
+        assert!(!report.commands_per_sec.is_empty());
+        let total: f64 = report.commands_per_sec.iter().map(|(_, n)| n).sum();
+        assert!((total - result.commands as f64).abs() < 1e-9);
+    }
+}

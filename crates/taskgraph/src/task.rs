@@ -1,0 +1,479 @@
+//! Task identity and specification.
+//!
+//! A [`TaskSpec`] describes one node of the autonomous-driving DAG: its name,
+//! statically configured priority, relative deadline, execution-time model
+//! and — for source tasks — the allowable release-rate range.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::exec::ExecModel;
+use crate::rate::RateRange;
+use crate::time::SimSpan;
+
+/// Dense index of a task inside its [`TaskGraph`](crate::graph::TaskGraph).
+///
+/// Indices are assigned in insertion order by the graph builder.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_taskgraph::TaskId;
+///
+/// let id = TaskId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Creates a task id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        TaskId(index)
+    }
+
+    /// Returns the dense index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl From<TaskId> for usize {
+    fn from(id: TaskId) -> usize {
+        id.0
+    }
+}
+
+/// Statically configured priority of a task (the paper's `p_i`).
+///
+/// **Smaller values mean higher priority**, following the paper and Apollo
+/// Cyber RT. The value participates numerically in the dynamic scheduling
+/// priority `P_i = γ·p_i + d_i` (Eq. 10).
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_taskgraph::Priority;
+///
+/// assert!(Priority::new(1).is_higher_than(Priority::new(5)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Priority(u32);
+
+impl Priority {
+    /// Creates a priority from its numeric value (smaller = more important).
+    #[must_use]
+    pub const fn new(value: u32) -> Self {
+        Priority(value)
+    }
+
+    /// Returns the numeric value.
+    #[must_use]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if `self` outranks `other` (numerically smaller).
+    #[must_use]
+    pub fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Criticality level of a task, used by the EDF-VD baseline.
+///
+/// High-criticality tasks get their deadlines scaled down to *virtual
+/// deadlines* at runtime; low-criticality tasks keep their actual deadlines.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Criticality {
+    /// Best-effort / quality-of-service task.
+    #[default]
+    Low,
+    /// Safety-relevant task whose timing failures are costly.
+    High,
+}
+
+/// Functional stage of the autonomous-driving pipeline a task belongs to.
+///
+/// Used for reporting and for scenario logic (e.g. identifying the control
+/// sink that emits commands to the chassis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Raw sensor acquisition and pre-processing (sources).
+    Sensing,
+    /// Detection, segmentation, fusion, tracking.
+    Perception,
+    /// Obstacle/trajectory prediction.
+    Prediction,
+    /// Localization / map matching.
+    Localization,
+    /// Route, behavior and motion planning.
+    Planning,
+    /// Command generation toward the actuators (sinks).
+    Control,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Sensing => "sensing",
+            Stage::Perception => "perception",
+            Stage::Prediction => "prediction",
+            Stage::Localization => "localization",
+            Stage::Planning => "planning",
+            Stage::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full specification of one task node.
+///
+/// Construct via [`TaskSpec::builder`]; the builder validates the deadline
+/// and fills sensible defaults for optional fields.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_taskgraph::{ExecModel, Priority, Stage, TaskSpec};
+/// use hcperf_taskgraph::time::SimSpan;
+///
+/// let spec = TaskSpec::builder("sensor_fusion")
+///     .priority(Priority::new(4))
+///     .relative_deadline(SimSpan::from_millis(60.0))
+///     .exec_model(ExecModel::constant(SimSpan::from_millis(20.0)))
+///     .stage(Stage::Perception)
+///     .build()
+///     .expect("valid spec");
+/// assert_eq!(spec.name(), "sensor_fusion");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    name: String,
+    priority: Priority,
+    relative_deadline: SimSpan,
+    exec_model: ExecModel,
+    gpu_model: Option<ExecModel>,
+    criticality: Criticality,
+    stage: Stage,
+    rate_range: Option<RateRange>,
+    affinity: Option<usize>,
+}
+
+impl TaskSpec {
+    /// Starts building a task spec with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> TaskSpecBuilder {
+        TaskSpecBuilder::new(name)
+    }
+
+    /// Returns the task name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the statically configured priority `p_i`.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Returns the relative deadline `D_i` (from release to completion).
+    #[must_use]
+    pub fn relative_deadline(&self) -> SimSpan {
+        self.relative_deadline
+    }
+
+    /// Returns the (CPU) execution-time model.
+    #[must_use]
+    pub fn exec_model(&self) -> &ExecModel {
+        &self.exec_model
+    }
+
+    /// Returns the GPU post-processing model, if the task offloads work to
+    /// an accelerator after its CPU phase. Per the paper (§ VI), HCPerf
+    /// does not schedule the GPU — it records this time and counts it
+    /// toward the task's deadline and the end-to-end latency.
+    #[must_use]
+    pub fn gpu_model(&self) -> Option<&ExecModel> {
+        self.gpu_model.as_ref()
+    }
+
+    /// Returns the criticality level (for EDF-VD).
+    #[must_use]
+    pub fn criticality(&self) -> Criticality {
+        self.criticality
+    }
+
+    /// Returns the pipeline stage.
+    #[must_use]
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Returns the allowable release-rate range, if this is a rate-adjustable
+    /// source task.
+    #[must_use]
+    pub fn rate_range(&self) -> Option<RateRange> {
+        self.rate_range
+    }
+
+    /// Returns the static processor binding used by the Apollo baseline, if
+    /// any. `None` means the task may run on any processor.
+    #[must_use]
+    pub fn affinity(&self) -> Option<usize> {
+        self.affinity
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} {} D={}]",
+            self.name, self.stage, self.priority, self.relative_deadline
+        )
+    }
+}
+
+/// Error returned when a [`TaskSpecBuilder`] is given inconsistent inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildTaskError {
+    /// The relative deadline must be strictly positive.
+    NonPositiveDeadline,
+    /// The task name must be non-empty.
+    EmptyName,
+}
+
+impl fmt::Display for BuildTaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTaskError::NonPositiveDeadline => {
+                f.write_str("relative deadline must be strictly positive")
+            }
+            BuildTaskError::EmptyName => f.write_str("task name must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for BuildTaskError {}
+
+/// Builder for [`TaskSpec`].
+#[derive(Debug, Clone)]
+pub struct TaskSpecBuilder {
+    name: String,
+    priority: Priority,
+    relative_deadline: SimSpan,
+    exec_model: ExecModel,
+    gpu_model: Option<ExecModel>,
+    criticality: Criticality,
+    stage: Stage,
+    rate_range: Option<RateRange>,
+    affinity: Option<usize>,
+}
+
+impl TaskSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        TaskSpecBuilder {
+            name: name.into(),
+            priority: Priority::new(10),
+            relative_deadline: SimSpan::from_millis(100.0),
+            exec_model: ExecModel::constant(SimSpan::from_millis(5.0)),
+            gpu_model: None,
+            criticality: Criticality::Low,
+            stage: Stage::Perception,
+            rate_range: None,
+            affinity: None,
+        }
+    }
+
+    /// Sets the static priority `p_i` (smaller = higher priority).
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the relative deadline `D_i`.
+    #[must_use]
+    pub fn relative_deadline(mut self, deadline: SimSpan) -> Self {
+        self.relative_deadline = deadline;
+        self
+    }
+
+    /// Sets the (CPU) execution-time model.
+    #[must_use]
+    pub fn exec_model(mut self, model: ExecModel) -> Self {
+        self.exec_model = model;
+        self
+    }
+
+    /// Adds a GPU post-processing phase: after the CPU phase completes, the
+    /// output becomes available only after this additional (non-CPU) delay.
+    #[must_use]
+    pub fn gpu_model(mut self, model: ExecModel) -> Self {
+        self.gpu_model = Some(model);
+        self
+    }
+
+    /// Sets the criticality (for EDF-VD).
+    #[must_use]
+    pub fn criticality(mut self, criticality: Criticality) -> Self {
+        self.criticality = criticality;
+        self
+    }
+
+    /// Sets the pipeline stage.
+    #[must_use]
+    pub fn stage(mut self, stage: Stage) -> Self {
+        self.stage = stage;
+        self
+    }
+
+    /// Marks the task as a rate-adjustable source with the given range.
+    #[must_use]
+    pub fn rate_range(mut self, range: RateRange) -> Self {
+        self.rate_range = Some(range);
+        self
+    }
+
+    /// Statically binds the task to a processor (Apollo baseline).
+    #[must_use]
+    pub fn affinity(mut self, processor: usize) -> Self {
+        self.affinity = Some(processor);
+        self
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTaskError::NonPositiveDeadline`] if the deadline is not
+    /// strictly positive, and [`BuildTaskError::EmptyName`] for an empty name.
+    pub fn build(self) -> Result<TaskSpec, BuildTaskError> {
+        if self.name.is_empty() {
+            return Err(BuildTaskError::EmptyName);
+        }
+        if self.relative_deadline <= SimSpan::ZERO {
+            return Err(BuildTaskError::NonPositiveDeadline);
+        }
+        Ok(TaskSpec {
+            name: self.name,
+            priority: self.priority,
+            relative_deadline: self.relative_deadline,
+            exec_model: self.exec_model,
+            gpu_model: self.gpu_model,
+            criticality: self.criticality,
+            stage: self.stage,
+            rate_range: self.rate_range,
+            affinity: self.affinity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let spec = TaskSpec::builder("control")
+            .priority(Priority::new(1))
+            .relative_deadline(SimSpan::from_millis(30.0))
+            .stage(Stage::Control)
+            .criticality(Criticality::High)
+            .affinity(2)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name(), "control");
+        assert_eq!(spec.priority(), Priority::new(1));
+        assert_eq!(spec.relative_deadline(), SimSpan::from_millis(30.0));
+        assert_eq!(spec.stage(), Stage::Control);
+        assert_eq!(spec.criticality(), Criticality::High);
+        assert_eq!(spec.affinity(), Some(2));
+        assert!(spec.rate_range().is_none());
+        assert!(spec.gpu_model().is_none());
+    }
+
+    #[test]
+    fn gpu_model_round_trips() {
+        let spec = TaskSpec::builder("detector")
+            .gpu_model(crate::exec::ExecModel::constant(SimSpan::from_millis(12.0)))
+            .build()
+            .unwrap();
+        let gpu = spec.gpu_model().expect("gpu model set");
+        assert_eq!(
+            gpu.nominal(crate::exec::ExecContext::idle()),
+            SimSpan::from_millis(12.0)
+        );
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        assert_eq!(
+            TaskSpec::builder("").build().unwrap_err(),
+            BuildTaskError::EmptyName
+        );
+    }
+
+    #[test]
+    fn rejects_non_positive_deadline() {
+        let err = TaskSpec::builder("x")
+            .relative_deadline(SimSpan::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildTaskError::NonPositiveDeadline);
+    }
+
+    #[test]
+    fn priority_order_is_inverted_numerically() {
+        assert!(Priority::new(0).is_higher_than(Priority::new(1)));
+        assert!(!Priority::new(3).is_higher_than(Priority::new(3)));
+    }
+
+    #[test]
+    fn task_id_round_trip() {
+        let id = TaskId::new(7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(format!("{id}"), "τ7");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let spec = TaskSpec::builder("fusion")
+            .priority(Priority::new(4))
+            .relative_deadline(SimSpan::from_millis(60.0))
+            .build()
+            .unwrap();
+        let s = format!("{spec}");
+        assert!(s.contains("fusion"));
+        assert!(s.contains("p4"));
+    }
+
+    #[test]
+    fn criticality_orders_low_below_high() {
+        assert!(Criticality::Low < Criticality::High);
+    }
+}

@@ -1,0 +1,263 @@
+//! The car-following speed controller.
+//!
+//! Computes the acceleration command the *control task* produces: track the
+//! lead car's speed (the paper's performance target `R(k)`) while keeping a
+//! safe gap. The command only reaches the vehicle when the scheduling
+//! pipeline delivers a control command in time — between commands the
+//! vehicle holds the last acceleration (zero-order hold), which is exactly
+//! how scheduling quality couples into driving performance.
+
+use hcperf_control::{Pid, PidConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the car-following law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FollowConfig {
+    /// Speed-error proportional gain (1/s).
+    pub speed_gain: f64,
+    /// Speed-error integral gain (1/s²).
+    pub speed_integral_gain: f64,
+    /// Gap-error proportional gain (1/s²); pulls the gap toward the target.
+    pub gap_gain: f64,
+    /// Desired headway gap in seconds (target gap = headway · speed +
+    /// standstill).
+    pub headway: f64,
+    /// Standstill gap in meters.
+    pub standstill_gap: f64,
+    /// Acceleration command limits (m/s²): `(min, max)`.
+    pub accel_limits: (f64, f64),
+    /// Gain on the lead-acceleration feedforward term (0 disables it).
+    /// Feedforward is what makes tracking quality sensitive to the
+    /// *freshness* of the sensed lead state — exactly the coupling through
+    /// which scheduling misses degrade driving performance.
+    pub lead_accel_feedforward: f64,
+}
+
+impl Default for FollowConfig {
+    fn default() -> Self {
+        FollowConfig {
+            speed_gain: 6.0,
+            speed_integral_gain: 2.0,
+            gap_gain: 0.05,
+            headway: 1.2,
+            standstill_gap: 5.0,
+            accel_limits: (-9.0, 6.0),
+            lead_accel_feedforward: 1.0,
+        }
+    }
+}
+
+impl FollowConfig {
+    /// Gains/gaps for the 1:10 scaled hardware cars.
+    #[must_use]
+    pub fn scaled_car() -> Self {
+        FollowConfig {
+            speed_gain: 2.0,
+            speed_integral_gain: 0.3,
+            gap_gain: 0.15,
+            headway: 0.8,
+            standstill_gap: 0.5,
+            accel_limits: (-2.5, 1.5),
+            lead_accel_feedforward: 1.0,
+        }
+    }
+}
+
+/// The controller state (integral memory lives in an inner PI loop).
+#[derive(Debug, Clone)]
+pub struct CarFollowController {
+    config: FollowConfig,
+    speed_loop: Pid,
+}
+
+impl CarFollowController {
+    /// Creates a controller.
+    #[must_use]
+    pub fn new(config: FollowConfig) -> Self {
+        let speed_loop = Pid::new(PidConfig {
+            kp: config.speed_gain,
+            ki: config.speed_integral_gain,
+            kd: 0.0,
+            output_limits: (config.accel_limits.0, config.accel_limits.1),
+            integral_limit: 4.0,
+        });
+        CarFollowController { config, speed_loop }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> FollowConfig {
+        self.config
+    }
+
+    /// Computes the acceleration command.
+    ///
+    /// * `lead_speed` — measured speed of the lead car (the target `R(k)`);
+    /// * `lead_accel` — estimated lead acceleration (feedforward input);
+    /// * `own_speed` — own measured speed (`P(k)`);
+    /// * `gap` — measured bumper-to-bumper distance in meters;
+    /// * `dt` — time since the previous command (integral step).
+    ///
+    /// The command combines lead-acceleration feedforward, speed tracking
+    /// and a gap-regulation term that pushes the gap toward
+    /// `headway·v + standstill`.
+    pub fn command(
+        &mut self,
+        lead_speed: f64,
+        lead_accel: f64,
+        own_speed: f64,
+        gap: f64,
+        dt: f64,
+    ) -> f64 {
+        let speed_error = lead_speed - own_speed;
+        let target_gap = self.config.headway * own_speed + self.config.standstill_gap;
+        let gap_error = gap - target_gap;
+        let accel = self.config.lead_accel_feedforward * lead_accel
+            + self.speed_loop.step(speed_error, dt)
+            + self.config.gap_gain * gap_error;
+        accel.clamp(self.config.accel_limits.0, self.config.accel_limits.1)
+    }
+
+    /// Resets the controller's integral memory.
+    pub fn reset(&mut self) {
+        self.speed_loop.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lead::LeadProfile;
+    use crate::longitudinal::{LongitudinalCar, LongitudinalConfig};
+
+    #[test]
+    fn accelerates_when_slower_than_lead() {
+        let mut c = CarFollowController::new(FollowConfig::default());
+        let a = c.command(15.0, 0.0, 10.0, 25.0, 0.05);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn brakes_when_faster_and_too_close() {
+        let mut c = CarFollowController::new(FollowConfig::default());
+        let a = c.command(10.0, 0.0, 15.0, 5.0, 0.05);
+        assert!(a < 0.0);
+    }
+
+    #[test]
+    fn command_respects_limits() {
+        let mut c = CarFollowController::new(FollowConfig::default());
+        let hard_brake = c.command(0.0, 0.0, 60.0, 0.0, 0.05);
+        assert!(hard_brake >= -9.0 - 1e-12);
+        c.reset();
+        let hard_accel = c.command(60.0, 0.0, 0.0, 500.0, 0.05);
+        assert!(hard_accel <= 6.0 + 1e-12);
+    }
+
+    #[test]
+    fn closed_loop_tracks_sine_lead_with_fast_commands() {
+        // With a fresh command every 20 ms (ideal scheduling), the follower
+        // tracks the paper's sine lead within a fraction of a m/s RMS.
+        let lead = LeadProfile::paper_sine();
+        let mut ctrl = CarFollowController::new(FollowConfig::default());
+        let mut car =
+            LongitudinalCar::with_state(LongitudinalConfig::default(), -30.0, lead.speed_at(0.0));
+        let dt = 0.02;
+        let mut sq_sum = 0.0;
+        let mut count = 0;
+        let mut t = 0.0;
+        while t < 30.0 {
+            let lead_speed = lead.speed_at(t);
+            let gap = lead.position_at(t, 0.02) - car.position();
+            let lead_accel = (lead.speed_at(t + 0.01) - lead.speed_at(t - 0.01)) / 0.02;
+            let a = ctrl.command(lead_speed, lead_accel, car.speed(), gap, dt);
+            car.step(a, dt);
+            t += dt;
+            if t > 5.0 {
+                sq_sum += (lead_speed - car.speed()).powi(2);
+                count += 1;
+            }
+        }
+        let rms = (sq_sum / count as f64).sqrt();
+        assert!(
+            rms < 0.25,
+            "ideal-scheduling RMS should be small, got {rms}"
+        );
+    }
+
+    #[test]
+    fn delayed_sparse_commands_degrade_tracking() {
+        // In the scheduling pipeline a control command actuates *late*: it
+        // was computed from measurements sensed one end-to-end latency
+        // earlier, and commands only arrive once per pipeline cycle. Both
+        // effects together (300 ms cycle + 300 ms sensing delay) must
+        // degrade tracking versus the fast pipeline (20 ms / 20 ms).
+        let lead = LeadProfile::paper_sine();
+        let run = |cmd_period: f64, sense_delay: f64| {
+            let mut ctrl = CarFollowController::new(FollowConfig::default());
+            let mut car = LongitudinalCar::with_state(
+                LongitudinalConfig::default(),
+                -30.0,
+                lead.speed_at(0.0),
+            );
+            let dt = 0.02;
+            let mut held_accel = 0.0;
+            let mut last_cmd = -1.0f64;
+            // History of (time, own speed, own position) for delayed sensing.
+            let mut history: Vec<(f64, f64, f64)> = Vec::new();
+            let mut sq_sum = 0.0;
+            let mut count = 0;
+            let mut t = 0.0;
+            while t < 30.0 {
+                history.push((t, car.speed(), car.position()));
+                if t - last_cmd >= cmd_period {
+                    let sensed_t = (t - sense_delay).max(0.0);
+                    let &(_, own_speed, own_pos) = history
+                        .iter()
+                        .rev()
+                        .find(|(ht, _, _)| *ht <= sensed_t)
+                        .unwrap_or(&history[0]);
+                    let gap = lead.position_at(sensed_t, 0.02) - own_pos;
+                    let lead_accel = (lead.speed_at(sensed_t)
+                        - lead.speed_at((sensed_t - 0.05).max(0.0)))
+                        / 0.05;
+                    held_accel = ctrl.command(
+                        lead.speed_at(sensed_t),
+                        lead_accel,
+                        own_speed,
+                        gap,
+                        (t - last_cmd).max(dt),
+                    );
+                    last_cmd = t;
+                }
+                car.step(held_accel, dt);
+                t += dt;
+                if t > 5.0 {
+                    sq_sum += (lead.speed_at(t) - car.speed()).powi(2);
+                    count += 1;
+                }
+            }
+            (sq_sum / count as f64).sqrt()
+        };
+        let fresh = run(0.02, 0.02);
+        let slow = run(0.3, 0.3);
+        assert!(
+            slow > fresh * 1.5,
+            "delayed sparse commands must hurt: fresh {fresh}, slow {slow}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_integral() {
+        let mut c = CarFollowController::new(FollowConfig::default());
+        for _ in 0..100 {
+            c.command(20.0, 0.0, 0.0, 100.0, 0.1);
+        }
+        c.reset();
+        // After reset, a zero-error command is (almost) zero except for the
+        // gap term.
+        let target_gap = c.config().headway * 10.0 + c.config().standstill_gap;
+        let a = c.command(10.0, 0.0, 10.0, target_gap, 0.1);
+        assert!(a.abs() < 1e-9, "got {a}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Lateral (lane-keeping) dynamics in the Frenet frame.
+//!
+//! For the § VII-B2 lane-keeping evaluation we track the vehicle relative to
+//! the lane centerline: arc position `s`, lateral offset `e_y` and heading
+//! error `e_ψ`. A kinematic bicycle model with wheelbase `L` steers with
+//! front-wheel angle `δ`:
+//!
+//! ```text
+//! ṡ    = v·cos(e_ψ) / (1 − e_y·κ(s))
+//! ė_y  = v·sin(e_ψ)
+//! ė_ψ  = v·tan(δ)/L − κ(s)·ṡ
+//! ```
+//!
+//! where `κ(s)` is the track curvature at arc position `s`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::track::Track;
+
+/// Parameters of the kinematic bicycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BicycleConfig {
+    /// Wheelbase in meters.
+    pub wheelbase: f64,
+    /// Steering angle limit in radians (symmetric).
+    pub max_steer: f64,
+}
+
+impl Default for BicycleConfig {
+    fn default() -> Self {
+        BicycleConfig {
+            wheelbase: 2.7,
+            max_steer: 0.5,
+        }
+    }
+}
+
+/// Kinematic bicycle in Frenet (track-relative) coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_vehicle::{BicycleCar, BicycleConfig, OvalTrack};
+///
+/// let track = OvalTrack::paper_loop();
+/// let mut car = BicycleCar::new(BicycleConfig::default());
+/// car.step(5.0, 0.0, 0.01, &track);
+/// assert!(car.arc_position() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BicycleCar {
+    config: BicycleConfig,
+    s: f64,
+    lateral_offset: f64,
+    heading_error: f64,
+}
+
+impl BicycleCar {
+    /// Creates a car at the start of the track, centered and aligned.
+    #[must_use]
+    pub fn new(config: BicycleConfig) -> Self {
+        BicycleCar {
+            config,
+            s: 0.0,
+            lateral_offset: 0.0,
+            heading_error: 0.0,
+        }
+    }
+
+    /// Arc position along the track centerline in meters.
+    #[must_use]
+    pub fn arc_position(&self) -> f64 {
+        self.s
+    }
+
+    /// Lateral offset from the centerline in meters (the § VII-B2
+    /// performance metric; positive = left of centerline).
+    #[must_use]
+    pub fn lateral_offset(&self) -> f64 {
+        self.lateral_offset
+    }
+
+    /// Heading error relative to the centerline tangent, in radians.
+    #[must_use]
+    pub fn heading_error(&self) -> f64 {
+        self.heading_error
+    }
+
+    /// Model parameters.
+    #[must_use]
+    pub fn config(&self) -> BicycleConfig {
+        self.config
+    }
+
+    /// Advances the model by `dt` seconds at longitudinal speed `speed`
+    /// with front steering angle `steer` (clamped to the steering limit)
+    /// on `track`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` or `speed` is not finite or `dt <= 0`.
+    pub fn step<T: Track + ?Sized>(&mut self, speed: f64, steer: f64, dt: f64, track: &T) {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive and finite");
+        assert!(speed.is_finite(), "speed must be finite");
+        let steer = steer.clamp(-self.config.max_steer, self.config.max_steer);
+        let kappa = track.curvature(self.s);
+        let denom = (1.0 - self.lateral_offset * kappa).max(0.1);
+        let s_dot = speed * self.heading_error.cos() / denom;
+        let ey_dot = speed * self.heading_error.sin();
+        let epsi_dot = speed * steer.tan() / self.config.wheelbase - kappa * s_dot;
+        self.s += s_dot * dt;
+        self.lateral_offset += ey_dot * dt;
+        self.heading_error += epsi_dot * dt;
+        // Keep heading error wrapped to (-π, π].
+        self.heading_error = (self.heading_error + std::f64::consts::PI)
+            .rem_euclid(std::f64::consts::TAU)
+            - std::f64::consts::PI;
+    }
+}
+
+/// Proportional-derivative lane-keeping steering law with curvature
+/// feedforward:
+/// `δ = atan(L·κ) − k_y·e_y − k_ψ·e_ψ`.
+///
+/// This is the steering command the *control task* computes; the scheduler
+/// determines when (and whether) it reaches the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneKeepController {
+    /// Lateral-offset gain (1/m).
+    pub offset_gain: f64,
+    /// Heading-error gain (dimensionless).
+    pub heading_gain: f64,
+    /// Vehicle wheelbase for the feedforward term (m).
+    pub wheelbase: f64,
+}
+
+impl Default for LaneKeepController {
+    fn default() -> Self {
+        LaneKeepController {
+            offset_gain: 0.15,
+            heading_gain: 0.8,
+            wheelbase: 2.7,
+        }
+    }
+}
+
+impl LaneKeepController {
+    /// Computes the steering angle for the current Frenet state and the
+    /// upcoming track curvature.
+    #[must_use]
+    pub fn steer(&self, lateral_offset: f64, heading_error: f64, curvature: f64) -> f64 {
+        let feedforward = (self.wheelbase * curvature).atan();
+        feedforward - self.offset_gain * lateral_offset - self.heading_gain * heading_error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::{OvalTrack, Track};
+
+    #[test]
+    fn straight_line_with_zero_steer_stays_centered() {
+        let track = OvalTrack::paper_loop();
+        let mut car = BicycleCar::new(BicycleConfig::default());
+        for _ in 0..100 {
+            car.step(5.0, 0.0, 0.01, &track);
+        }
+        // Still on the initial straight.
+        assert!(car.arc_position() < track.straight_length());
+        assert_eq!(car.lateral_offset(), 0.0);
+        assert_eq!(car.heading_error(), 0.0);
+        assert!((car.arc_position() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_steer_in_turn_drifts_outward() {
+        let track = OvalTrack::paper_loop();
+        let mut car = BicycleCar::new(BicycleConfig::default());
+        // Advance into the first turn.
+        while track.curvature(car.arc_position()) == 0.0 {
+            car.step(5.0, 0.0, 0.01, &track);
+        }
+        for _ in 0..200 {
+            car.step(5.0, 0.0, 0.01, &track);
+        }
+        assert!(
+            car.lateral_offset().abs() > 0.05,
+            "no drift: {}",
+            car.lateral_offset()
+        );
+    }
+
+    #[test]
+    fn feedforward_steer_tracks_turn_closely() {
+        let track = OvalTrack::paper_loop();
+        let ctrl = LaneKeepController::default();
+        let mut car = BicycleCar::new(BicycleConfig::default());
+        let dt = 0.005;
+        let mut worst: f64 = 0.0;
+        // Drive one full lap with continuous (per-step) control — the ideal
+        // no-scheduling-delay case.
+        while car.arc_position() < track.total_length() {
+            let kappa = track.curvature(car.arc_position());
+            let steer = ctrl.steer(car.lateral_offset(), car.heading_error(), kappa);
+            car.step(5.0, steer, dt, &track);
+            worst = worst.max(car.lateral_offset().abs());
+        }
+        assert!(worst < 0.1, "continuous control keeps |e_y| small: {worst}");
+    }
+
+    #[test]
+    fn steering_saturates() {
+        let track = OvalTrack::paper_loop();
+        let mut car = BicycleCar::new(BicycleConfig {
+            max_steer: 0.1,
+            ..Default::default()
+        });
+        // Huge commanded steer is clamped: heading change bounded by
+        // v·tan(0.1)/L per second.
+        car.step(5.0, 10.0, 1.0, &track);
+        let max_rate = 5.0 * (0.1f64).tan() / car.config().wheelbase;
+        assert!(car.heading_error() <= max_rate + 1e-9);
+    }
+
+    #[test]
+    fn heading_error_wraps() {
+        let track = OvalTrack::paper_loop();
+        let mut car = BicycleCar::new(BicycleConfig::default());
+        for _ in 0..1000 {
+            car.step(10.0, 0.5, 0.05, &track);
+        }
+        assert!(car.heading_error().abs() <= std::f64::consts::PI + 1e-9);
+    }
+}

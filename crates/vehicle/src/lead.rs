@@ -1,0 +1,267 @@
+//! Lead-vehicle speed profiles.
+//!
+//! Each evaluation scenario prescribes the lead car's speed as a function of
+//! time:
+//!
+//! * § VII-B1 (simulation car following): a **sine** with period 7 s bounded
+//!   in `[10, 20] m/s`.
+//! * § VII-B3 (hardware): **trapezoid** — accelerate 5 s, hold 10 s,
+//!   decelerate 5 s.
+//! * § II (motivation): cruise at 10 m/s, brake for a **red light** from
+//!   `t = 5 s`.
+//! * § VII-C (responsiveness): cruise at 20 m/s, **jam deceleration** at
+//!   `t = 10 s`, recovery after `t = 20 s`.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic lead-car speed profile.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_vehicle::LeadProfile;
+///
+/// let lead = LeadProfile::paper_sine();
+/// let v = lead.speed_at(3.0);
+/// assert!((10.0..=20.0).contains(&v));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LeadProfile {
+    /// `mean + amplitude · sin(2πt / period)`.
+    Sine {
+        /// Center speed in m/s.
+        mean: f64,
+        /// Amplitude in m/s.
+        amplitude: f64,
+        /// Oscillation period in seconds.
+        period: f64,
+    },
+    /// Accelerate from 0 to `peak` over `accel_for` seconds, hold for
+    /// `hold_for`, then decelerate back to 0 over `decel_for`.
+    Trapezoid {
+        /// Peak speed in m/s.
+        peak: f64,
+        /// Acceleration phase duration in seconds.
+        accel_for: f64,
+        /// Constant-speed phase duration in seconds.
+        hold_for: f64,
+        /// Deceleration phase duration in seconds.
+        decel_for: f64,
+    },
+    /// Cruise at `cruise` until `brake_at`, then decelerate at `decel`
+    /// (m/s², positive) until stopped.
+    RedLightStop {
+        /// Cruise speed in m/s.
+        cruise: f64,
+        /// Braking start time in seconds.
+        brake_at: f64,
+        /// Deceleration magnitude in m/s².
+        decel: f64,
+    },
+    /// Cruise at `cruise`; between `slow_at` and `recover_at` decelerate
+    /// toward `jam_speed`; afterwards accelerate back to `cruise`.
+    JamSlowdown {
+        /// Nominal cruise speed in m/s.
+        cruise: f64,
+        /// Speed inside the jam in m/s.
+        jam_speed: f64,
+        /// When the jam begins (s).
+        slow_at: f64,
+        /// When the jam clears (s).
+        recover_at: f64,
+        /// Acceleration/deceleration magnitude for the transitions (m/s²).
+        ramp: f64,
+    },
+}
+
+impl LeadProfile {
+    /// The § VII-B1 sine: period 7 s, speed in `[10, 20] m/s`.
+    #[must_use]
+    pub fn paper_sine() -> Self {
+        LeadProfile::Sine {
+            mean: 15.0,
+            amplitude: 5.0,
+            period: 7.0,
+        }
+    }
+
+    /// The § VII-B3 hardware trapezoid at scaled-car speeds: accelerate
+    /// 5 s to 1.5 m/s, hold 10 s, decelerate 5 s.
+    #[must_use]
+    pub fn hardware_trapezoid() -> Self {
+        LeadProfile::Trapezoid {
+            peak: 1.5,
+            accel_for: 5.0,
+            hold_for: 10.0,
+            decel_for: 5.0,
+        }
+    }
+
+    /// The § II motivation red-light stop: 10 m/s cruise, braking gently
+    /// from `t = 5 s` at 0.55 m/s² (comes to rest ~91 m later, before the
+    /// light 200 m ahead, at `t ≈ 23 s`).
+    #[must_use]
+    pub fn motivation_red_light() -> Self {
+        LeadProfile::RedLightStop {
+            cruise: 10.0,
+            brake_at: 5.0,
+            decel: 0.55,
+        }
+    }
+
+    /// The § VII-C traffic jam: 20 m/s cruise, braking into a 5 m/s crawl
+    /// between 10 s and 20 s, 3 m/s² transition ramps.
+    #[must_use]
+    pub fn traffic_jam() -> Self {
+        LeadProfile::JamSlowdown {
+            cruise: 20.0,
+            jam_speed: 5.0,
+            slow_at: 10.0,
+            recover_at: 20.0,
+            ramp: 3.0,
+        }
+    }
+
+    /// Lead speed at time `t` seconds (never negative).
+    #[must_use]
+    pub fn speed_at(&self, t: f64) -> f64 {
+        let v = match *self {
+            LeadProfile::Sine {
+                mean,
+                amplitude,
+                period,
+            } => mean + amplitude * (std::f64::consts::TAU * t / period).sin(),
+            LeadProfile::Trapezoid {
+                peak,
+                accel_for,
+                hold_for,
+                decel_for,
+            } => {
+                if t <= 0.0 {
+                    0.0
+                } else if t < accel_for {
+                    peak * t / accel_for
+                } else if t < accel_for + hold_for {
+                    peak
+                } else if t < accel_for + hold_for + decel_for {
+                    let into = t - accel_for - hold_for;
+                    peak * (1.0 - into / decel_for)
+                } else {
+                    0.0
+                }
+            }
+            LeadProfile::RedLightStop {
+                cruise,
+                brake_at,
+                decel,
+            } => {
+                if t < brake_at {
+                    cruise
+                } else {
+                    cruise - decel * (t - brake_at)
+                }
+            }
+            LeadProfile::JamSlowdown {
+                cruise,
+                jam_speed,
+                slow_at,
+                recover_at,
+                ramp,
+            } => {
+                if t < slow_at {
+                    cruise
+                } else if t < recover_at {
+                    (cruise - ramp * (t - slow_at)).max(jam_speed)
+                } else {
+                    (jam_speed + ramp * (t - recover_at)).min(cruise)
+                }
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Lead position at time `t`, integrated numerically from `t = 0` at
+    /// `dt`-second resolution (trapezoidal rule).
+    #[must_use]
+    pub fn position_at(&self, t: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "dt must be positive");
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let steps = (t / dt).ceil() as usize;
+        let h = t / steps as f64;
+        let mut pos = 0.0;
+        for k in 0..steps {
+            let v0 = self.speed_at(k as f64 * h);
+            let v1 = self.speed_at((k + 1) as f64 * h);
+            pos += 0.5 * (v0 + v1) * h;
+        }
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_stays_in_paper_bounds() {
+        let lead = LeadProfile::paper_sine();
+        for k in 0..700 {
+            let v = lead.speed_at(k as f64 * 0.1);
+            assert!((10.0 - 1e-9..=20.0 + 1e-9).contains(&v), "v={v}");
+        }
+        // Period is 7 s.
+        assert!((lead.speed_at(0.0) - lead.speed_at(7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trapezoid_phases() {
+        let lead = LeadProfile::hardware_trapezoid();
+        assert_eq!(lead.speed_at(-1.0), 0.0);
+        assert!((lead.speed_at(2.5) - 0.75).abs() < 1e-12);
+        assert!((lead.speed_at(10.0) - 1.5).abs() < 1e-12);
+        assert!((lead.speed_at(17.5) - 0.75).abs() < 1e-12);
+        assert_eq!(lead.speed_at(25.0), 0.0);
+    }
+
+    #[test]
+    fn red_light_stops_and_never_reverses() {
+        let lead = LeadProfile::motivation_red_light();
+        assert_eq!(lead.speed_at(4.9), 10.0);
+        assert!(lead.speed_at(10.0) < 10.0);
+        // 10 / 0.55 ≈ 18.2 s of braking: ~2 m/s around t = 19.5 s and
+        // stopped shortly after t = 23 s (the paper's collision timing).
+        assert!((lead.speed_at(19.5) - 2.025).abs() < 1e-9);
+        assert_eq!(lead.speed_at(23.3), 0.0);
+        assert_eq!(lead.speed_at(100.0), 0.0);
+    }
+
+    #[test]
+    fn jam_slows_then_recovers() {
+        let lead = LeadProfile::traffic_jam();
+        assert_eq!(lead.speed_at(5.0), 20.0);
+        assert_eq!(lead.speed_at(19.0), 5.0);
+        let recovering = lead.speed_at(22.0);
+        assert!(recovering > 5.0 && recovering < 20.0);
+        assert_eq!(lead.speed_at(40.0), 20.0);
+    }
+
+    #[test]
+    fn position_integrates_speed() {
+        // Constant 10 m/s before braking: 40 m at t = 4 s.
+        let lead = LeadProfile::motivation_red_light();
+        let p = lead.position_at(4.0, 0.01);
+        assert!((p - 40.0).abs() < 0.01, "{p}");
+        // Braking phase: position keeps increasing but sub-linearly.
+        let p10 = lead.position_at(10.0, 0.01);
+        let p11 = lead.position_at(11.0, 0.01);
+        assert!(p11 > p10);
+        assert!(p11 - p10 < 10.0);
+    }
+
+    #[test]
+    fn position_at_zero_is_zero() {
+        assert_eq!(LeadProfile::paper_sine().position_at(0.0, 0.01), 0.0);
+    }
+}

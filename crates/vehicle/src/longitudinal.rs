@@ -1,0 +1,225 @@
+//! Longitudinal (speed) dynamics.
+//!
+//! A point-mass vehicle model with bounded acceleration and a first-order
+//! actuator lag: commanded acceleration reaches the wheels through a lag
+//! `τ` (the paper's hardware testbed § VII-B3 explicitly notes "the lag in
+//! the throttle control of the scaled car").
+
+use hcperf_control::LowPass;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the longitudinal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LongitudinalConfig {
+    /// Maximum forward acceleration in m/s².
+    pub max_accel: f64,
+    /// Maximum braking deceleration in m/s² (positive number).
+    pub max_brake: f64,
+    /// First-order actuator (throttle/brake) time constant in seconds.
+    pub actuator_tau: f64,
+    /// Maximum speed in m/s.
+    pub max_speed: f64,
+}
+
+impl Default for LongitudinalConfig {
+    fn default() -> Self {
+        LongitudinalConfig {
+            max_accel: 6.0,
+            max_brake: 9.0,
+            actuator_tau: 0.15,
+            max_speed: 60.0,
+        }
+    }
+}
+
+impl LongitudinalConfig {
+    /// Parameters matching the 1:10 scaled cars of the hardware testbed:
+    /// lower speeds, snappier acceleration and a noticeable throttle lag.
+    #[must_use]
+    pub fn scaled_car() -> Self {
+        LongitudinalConfig {
+            max_accel: 1.5,
+            max_brake: 2.5,
+            actuator_tau: 0.25,
+            max_speed: 3.0,
+        }
+    }
+}
+
+/// Point-mass longitudinal vehicle state.
+///
+/// # Examples
+///
+/// ```
+/// use hcperf_vehicle::{LongitudinalCar, LongitudinalConfig};
+///
+/// let mut car = LongitudinalCar::new(LongitudinalConfig::default());
+/// for _ in 0..300 {
+///     car.step(2.0, 0.01); // accelerate at 2 m/s² for 3 s
+/// }
+/// assert!(car.speed() > 4.0 && car.speed() < 6.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LongitudinalCar {
+    config: LongitudinalConfig,
+    position: f64,
+    speed: f64,
+    actuator: LowPass,
+}
+
+impl LongitudinalCar {
+    /// Creates a stationary car at position 0.
+    #[must_use]
+    pub fn new(config: LongitudinalConfig) -> Self {
+        LongitudinalCar {
+            config,
+            position: 0.0,
+            speed: 0.0,
+            actuator: LowPass::with_initial(config.actuator_tau, 0.0),
+        }
+    }
+
+    /// Creates a car with an initial position and speed.
+    #[must_use]
+    pub fn with_state(config: LongitudinalConfig, position: f64, speed: f64) -> Self {
+        LongitudinalCar {
+            config,
+            position,
+            speed: speed.clamp(0.0, config.max_speed),
+            actuator: LowPass::with_initial(config.actuator_tau, 0.0),
+        }
+    }
+
+    /// Current position along the road in meters.
+    #[must_use]
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Current speed in m/s.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Currently realized (post-lag) acceleration in m/s².
+    #[must_use]
+    pub fn acceleration(&self) -> f64 {
+        self.actuator.value()
+    }
+
+    /// Model parameters.
+    #[must_use]
+    pub fn config(&self) -> LongitudinalConfig {
+        self.config
+    }
+
+    /// Advances the model by `dt` seconds with a commanded acceleration.
+    ///
+    /// The command is clamped to `[-max_brake, max_accel]`, passed through
+    /// the actuator lag, then integrated. Speed is clamped to
+    /// `[0, max_speed]` (no reversing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn step(&mut self, commanded_accel: f64, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        let clamped = commanded_accel.clamp(-self.config.max_brake, self.config.max_accel);
+        let realized = self.actuator.step(clamped, dt);
+        let new_speed = (self.speed + realized * dt).clamp(0.0, self.config.max_speed);
+        // Trapezoidal position update for better accuracy.
+        self.position += 0.5 * (self.speed + new_speed) * dt;
+        self.speed = new_speed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lagless() -> LongitudinalConfig {
+        LongitudinalConfig {
+            actuator_tau: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn constant_accel_integrates_speed_and_position() {
+        let mut car = LongitudinalCar::new(lagless());
+        let dt = 0.001;
+        for _ in 0..1000 {
+            car.step(2.0, dt);
+        }
+        assert!((car.speed() - 2.0).abs() < 1e-6);
+        assert!((car.position() - 1.0).abs() < 1e-3, "{}", car.position());
+    }
+
+    #[test]
+    fn acceleration_saturates() {
+        let mut car = LongitudinalCar::new(lagless());
+        car.step(100.0, 0.1);
+        assert!((car.acceleration() - 6.0).abs() < 1e-9);
+        car.step(-100.0, 0.1);
+        assert!((car.acceleration() + 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_never_negative() {
+        let mut car = LongitudinalCar::new(lagless());
+        for _ in 0..100 {
+            car.step(-5.0, 0.1);
+        }
+        assert_eq!(car.speed(), 0.0);
+    }
+
+    #[test]
+    fn speed_caps_at_max() {
+        let mut car = LongitudinalCar::new(lagless());
+        for _ in 0..10_000 {
+            car.step(6.0, 0.1);
+        }
+        assert_eq!(car.speed(), car.config().max_speed);
+    }
+
+    #[test]
+    fn actuator_lag_delays_response() {
+        let mut lagged = LongitudinalCar::new(LongitudinalConfig {
+            actuator_tau: 0.5,
+            ..Default::default()
+        });
+        let mut quick = LongitudinalCar::new(lagless());
+        for _ in 0..20 {
+            lagged.step(2.0, 0.01);
+            quick.step(2.0, 0.01);
+        }
+        assert!(
+            lagged.speed() < quick.speed(),
+            "lagged {} vs quick {}",
+            lagged.speed(),
+            quick.speed()
+        );
+    }
+
+    #[test]
+    fn with_state_clamps_speed() {
+        let car = LongitudinalCar::with_state(lagless(), 100.0, 1000.0);
+        assert_eq!(car.position(), 100.0);
+        assert_eq!(car.speed(), car.config().max_speed);
+    }
+
+    #[test]
+    fn scaled_car_profile_is_slower() {
+        let cfg = LongitudinalConfig::scaled_car();
+        assert!(cfg.max_speed < 5.0);
+        assert!(cfg.actuator_tau > LongitudinalConfig::default().actuator_tau);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_zero_dt() {
+        let mut car = LongitudinalCar::new(lagless());
+        car.step(1.0, 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Closed-loop car following (§ VII-B1, shortened): a follower tracks a
+//! sine-speed lead car while the scheduling scheme decides when control
+//! commands reach the vehicle.
+//!
+//! ```sh
+//! cargo run --release --example car_following [scheme] [duration_s]
+//! ```
+//!
+//! `scheme` ∈ {hpf, edf, edf-vd, apollo, hcperf} (default: hcperf).
+
+use hcperf::Scheme;
+use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
+
+fn parse_scheme(name: &str) -> Option<Scheme> {
+    match name.to_ascii_lowercase().as_str() {
+        "hpf" => Some(Scheme::Hpf),
+        "edf" => Some(Scheme::Edf),
+        "edf-vd" | "edfvd" => Some(Scheme::EdfVd),
+        "apollo" => Some(Scheme::Apollo),
+        "hcperf" => Some(Scheme::HcPerf),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheme = std::env::args()
+        .nth(1)
+        .and_then(|s| parse_scheme(&s))
+        .unwrap_or(Scheme::HcPerf);
+    let duration: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
+
+    let mut config = CarFollowingConfig::paper_simulation(scheme);
+    config.duration = duration;
+    println!("Running car following under {scheme} for {duration:.0} s ...\n");
+    let r = run_car_following(&config)?;
+
+    println!("speed over time (L = lead, F = follower):");
+    for (t, lead) in r.lead_speed.iter().step_by(20) {
+        let follow = r.follow_speed.nearest(t).unwrap_or(0.0);
+        let l_col = (lead * 2.5).round() as usize;
+        let f_col = (follow * 2.5).round() as usize;
+        let width = l_col.max(f_col) + 1;
+        let mut line: Vec<char> = vec![' '; width];
+        line[l_col.min(width - 1)] = 'L';
+        line[f_col.min(width - 1)] = 'F';
+        println!("{t:5.1}s |{}", line.iter().collect::<String>());
+    }
+    println!();
+    println!("RMS speed tracking error:    {:.3} m/s", r.rms_speed_error);
+    println!("RMS distance tracking error: {:.3} m", r.rms_distance_error);
+    println!("control commands delivered:  {}", r.commands);
+    println!(
+        "deadline miss ratio:         {:.2}% overall, {:.2}% in the final 10%",
+        r.overall_miss_ratio * 100.0,
+        r.final_miss_ratio * 100.0
+    );
+    match r.collision_time {
+        Some(t) => println!("COLLISION at t = {t:.1} s"),
+        None => println!("no collision"),
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Responsiveness under a traffic-jam emergency (§ VII-C): the lead car
+//! decelerates hard at t = 10 s while the scene load surges. HCPerf should
+//! trade throughput (passenger comfort) for responsiveness until the gap
+//! deficit is mitigated, then restore smooth control.
+//!
+//! ```sh
+//! cargo run --release --example emergency_brake
+//! ```
+
+use hcperf::Scheme;
+use hcperf_scenarios::car_following::run_car_following;
+use hcperf_scenarios::traffic_jam::{analyze_responsiveness, traffic_jam_config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for scheme in [Scheme::Apollo, Scheme::HcPerf] {
+        let config = traffic_jam_config(scheme);
+        let result = run_car_following(&config)?;
+        let report = analyze_responsiveness(&result);
+        println!("== {scheme}: jam from t = 10 s to 20 s ==");
+        match result.collision_time {
+            Some(t) => println!("  COLLISION at t = {t:.1} s"),
+            None => println!("  no collision"),
+        }
+        println!("  gap-deficit tracking error over time:");
+        for (t, v) in report.tracking_error_m.iter().step_by(20) {
+            let bar = "#".repeat((v * 4.0).round() as usize);
+            println!("  {t:5.1}s {v:6.2} m {bar}");
+        }
+        let mean = |pairs: &[(f64, f64)], from: f64, to: f64| {
+            let vals: Vec<f64> = pairs
+                .iter()
+                .filter(|(t, _)| *t >= from && *t < to)
+                .map(|(_, v)| *v)
+                .collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        println!(
+            "  commands/s: {:.1} pre-jam -> {:.1} during -> {:.1} after",
+            mean(&report.commands_per_sec, 2.0, 10.0),
+            mean(&report.commands_per_sec, 10.0, 20.0),
+            mean(&report.commands_per_sec, 30.0, 40.0),
+        );
+        println!(
+            "  discomfort (RMS jerk): {:.2} pre-jam -> {:.2} during -> {:.2} after\n",
+            mean(&report.discomfort, 2.0, 10.0),
+            mean(&report.discomfort, 10.0, 20.0),
+            mean(&report.discomfort, 30.0, 40.0),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Lane keeping on the oval loop (§ VII-B2, shortened to one lap): the
+//! steering command's freshness — decided by the scheduler — determines how
+//! far the car drifts from the centerline in turns.
+//!
+//! ```sh
+//! cargo run --release --example lane_keeping
+//! ```
+
+use hcperf::Scheme;
+use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
+use hcperf_vehicle::Track;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== one lap of the oval at 5 m/s, all schemes ==\n");
+    let mut results = Vec::new();
+    for scheme in Scheme::all() {
+        let mut config = LaneKeepingConfig::paper_loop(scheme);
+        config.duration = 70.0; // one lap ≈ 66 s
+        let r = run_lane_keeping(&config)?;
+        results.push(r);
+    }
+
+    // Offsets along the lap for the best and the worst scheme.
+    println!("lateral offset along the lap (x = HCPerf, o = Apollo), turns marked ~:");
+    let track = LaneKeepingConfig::paper_loop(Scheme::HcPerf).track;
+    let hcperf = results.iter().find(|r| r.scheme == Scheme::HcPerf).unwrap();
+    let apollo = results.iter().find(|r| r.scheme == Scheme::Apollo).unwrap();
+    for (t, off_x) in hcperf.lateral_offset.iter().step_by(20) {
+        let arc = hcperf.arc_position.nearest(t).unwrap_or(0.0);
+        let off_o = apollo.lateral_offset.nearest(t).unwrap_or(0.0);
+        let marker = if track.curvature(arc) != 0.0 {
+            '~'
+        } else {
+            ' '
+        };
+        let col = |v: f64| ((v * 20.0) + 25.0).clamp(0.0, 50.0) as usize;
+        let mut line = [' '; 52];
+        line[25] = '|';
+        line[col(off_o)] = 'o';
+        line[col(off_x)] = 'x';
+        println!("{t:5.1}s {marker} {}", line.iter().collect::<String>());
+    }
+
+    println!("\nRMS lateral offset (Table IV analogue):");
+    for r in &results {
+        println!(
+            "  {:>7}: {:.4} m (max {:.3} m, miss ratio {:.2}%)",
+            r.scheme.to_string(),
+            r.rms_lateral_offset,
+            r.max_lateral_offset,
+            r.overall_miss_ratio * 100.0
+        );
+    }
+    Ok(())
+}

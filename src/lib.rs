@@ -1,0 +1,29 @@
+//! Umbrella crate for the HCPerf reproduction workspace.
+//!
+//! Re-exports every member crate so the examples and the cross-crate
+//! integration tests under `tests/` have a single dependency surface:
+//!
+//! * [`taskgraph`] — DAG task model and execution-time models;
+//! * [`rtsim`] — the discrete-event multiprocessor real-time simulator;
+//! * [`control`] — MFC/ADE/PID control substrate;
+//! * [`vehicle`] — longitudinal/lateral vehicle dynamics;
+//! * [`core`] — the HCPerf coordinators, Dynamic Priority Scheduler and
+//!   baseline schedulers;
+//! * [`scenarios`] — the closed-loop driving experiment harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use hcperf_suite::core::Scheme;
+//!
+//! assert_eq!(Scheme::all().len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hcperf as core;
+pub use hcperf_control as control;
+pub use hcperf_rtsim as rtsim;
+pub use hcperf_scenarios as scenarios;
+pub use hcperf_taskgraph as taskgraph;
+pub use hcperf_vehicle as vehicle;

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the full closed driving loops.
+//!
+//! These exercise the whole stack — task graph → real-time simulator →
+//! coordinators → vehicle dynamics — and assert the paper's headline
+//! qualitative results on shortened horizons.
+
+use hcperf_suite::core::Scheme;
+use hcperf_suite::scenarios::car_following::{run_car_following, CarFollowingConfig};
+use hcperf_suite::scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
+use hcperf_suite::scenarios::motivation::{run_motivation, MotivationConfig};
+
+fn short_sim(scheme: Scheme, duration: f64) -> CarFollowingConfig {
+    let mut config = CarFollowingConfig::paper_simulation(scheme);
+    config.duration = duration;
+    config
+}
+
+#[test]
+fn hcperf_beats_edf_and_apollo_on_car_following() {
+    // 40 s covers the regime change at t = 10 s and several load bursts.
+    let hcperf = run_car_following(&short_sim(Scheme::HcPerf, 40.0)).unwrap();
+    let edf = run_car_following(&short_sim(Scheme::Edf, 40.0)).unwrap();
+    let apollo = run_car_following(&short_sim(Scheme::Apollo, 40.0)).unwrap();
+    assert!(
+        hcperf.rms_speed_error < edf.rms_speed_error,
+        "HCPerf {} vs EDF {}",
+        hcperf.rms_speed_error,
+        edf.rms_speed_error
+    );
+    assert!(
+        hcperf.rms_speed_error < apollo.rms_speed_error,
+        "HCPerf {} vs Apollo {}",
+        hcperf.rms_speed_error,
+        apollo.rms_speed_error
+    );
+    assert!(hcperf.collision_time.is_none());
+}
+
+#[test]
+fn hcperf_holds_miss_ratio_low_after_adaptation() {
+    let r = run_car_following(&short_sim(Scheme::HcPerf, 60.0)).unwrap();
+    // The TRA settles the miss ratio near its target (≪ the baselines'
+    // overload misses); the paper drives it to ~0 (Fig. 13d).
+    assert!(
+        r.final_miss_ratio < 0.05,
+        "final miss ratio {}",
+        r.final_miss_ratio
+    );
+    // And the adapter actually moved the rates (external coordinator ran).
+    let first = r.mean_source_rate.values().first().copied().unwrap();
+    let last = r.mean_source_rate.last().unwrap();
+    assert!((first - last).abs() > 0.5, "rates {first} -> {last}");
+}
+
+#[test]
+fn external_coordinator_ablation_matches_fig18() {
+    let full = run_car_following(&short_sim(Scheme::HcPerf, 40.0)).unwrap();
+    let mut internal_only = short_sim(Scheme::HcPerf, 40.0);
+    internal_only.coordinator.external_enabled = false;
+    let internal = run_car_following(&internal_only).unwrap();
+    assert!(
+        full.overall_miss_ratio < internal.overall_miss_ratio,
+        "full {} vs internal-only {}",
+        full.overall_miss_ratio,
+        internal.overall_miss_ratio
+    );
+    assert!(
+        full.rms_speed_error <= internal.rms_speed_error,
+        "full {} vs internal-only {}",
+        full.rms_speed_error,
+        internal.rms_speed_error
+    );
+}
+
+#[test]
+fn lane_keeping_hcperf_among_best_apollo_worst() {
+    let mut results = Vec::new();
+    for scheme in Scheme::all() {
+        let mut config = LaneKeepingConfig::paper_loop(scheme);
+        config.duration = 45.0; // through the first turn
+        results.push(run_lane_keeping(&config).unwrap());
+    }
+    let rms = |s: Scheme| {
+        results
+            .iter()
+            .find(|r| r.scheme == s)
+            .unwrap()
+            .rms_lateral_offset
+    };
+    assert!(rms(Scheme::HcPerf) < rms(Scheme::Edf));
+    assert!(rms(Scheme::HcPerf) < rms(Scheme::Apollo));
+    for scheme in [Scheme::Hpf, Scheme::Edf, Scheme::EdfVd, Scheme::HcPerf] {
+        assert!(
+            rms(scheme) < rms(Scheme::Apollo),
+            "{scheme} should beat Apollo"
+        );
+    }
+}
+
+#[test]
+fn motivation_scenario_collides_under_fixed_priority_only() {
+    let apollo = run_motivation(&MotivationConfig::default()).unwrap();
+    assert!(
+        apollo.collision_time.is_some(),
+        "fixed priority must collide (paper Fig. 4)"
+    );
+    assert!(apollo.miss_ratio_after_event > 0.1);
+
+    let hcperf = run_motivation(&MotivationConfig {
+        scheme: Scheme::HcPerf,
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(
+        hcperf.collision_time.is_none(),
+        "HCPerf avoids the collision, got {:?}",
+        hcperf.collision_time
+    );
+}
+
+#[test]
+fn hardware_testbed_all_schemes_complete() {
+    for scheme in Scheme::all() {
+        let config = CarFollowingConfig::hardware(scheme);
+        let r = run_car_following(&config).unwrap();
+        assert!(r.commands > 50, "{scheme}: {} commands", r.commands);
+        assert!(
+            r.rms_speed_error < 0.5,
+            "{scheme}: rms {}",
+            r.rms_speed_error
+        );
+        assert!(r.collision_time.is_none(), "{scheme} collided");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let a = run_car_following(&short_sim(Scheme::HcPerf, 20.0)).unwrap();
+    let b = run_car_following(&short_sim(Scheme::HcPerf, 20.0)).unwrap();
+    assert_eq!(a.rms_speed_error, b.rms_speed_error);
+    assert_eq!(a.commands, b.commands);
+    assert_eq!(a.overall_miss_ratio, b.overall_miss_ratio);
+}
+
+#[test]
+fn different_seeds_change_but_do_not_break_results() {
+    let mut config = short_sim(Scheme::HcPerf, 20.0);
+    config.seed = 99;
+    let a = run_car_following(&config).unwrap();
+    config.seed = 100;
+    let b = run_car_following(&config).unwrap();
+    assert_ne!(a.commands, b.commands, "seeds should differ in detail");
+    for r in [&a, &b] {
+        assert!(r.rms_speed_error < 1.5);
+        assert!(r.collision_time.is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: scheduler policies inside the engine.
+//!
+//! Verifies each scheme's dispatch order against hand-computed traces on
+//! small task systems, through the real engine (not fixture contexts).
+//!
+//! Each fixture adds a `blocker` task that monopolizes the single processor
+//! for the first 15 ms, so the three interesting jobs are all queued when
+//! the first real dispatch decision happens (otherwise the earliest release
+//! would run unconditionally — dispatching is non-preemptive and eager).
+
+use hcperf_suite::core::{DpsConfig, Scheme};
+use hcperf_suite::rtsim::{Sim, SimConfig, TraceEvent};
+use hcperf_suite::taskgraph::{
+    Criticality, ExecModel, Priority, RateRange, SimSpan, SimTime, Stage, TaskGraph, TaskSpec,
+};
+
+fn source(
+    b: &mut hcperf_suite::taskgraph::TaskGraphBuilder,
+    name: &str,
+    priority: u32,
+    deadline_ms: f64,
+    exec_ms: f64,
+    criticality: Criticality,
+) {
+    b.add_task(
+        TaskSpec::builder(name)
+            .stage(Stage::Sensing)
+            .priority(Priority::new(priority))
+            .criticality(criticality)
+            .relative_deadline(SimSpan::from_millis(deadline_ms))
+            .exec_model(ExecModel::constant(SimSpan::from_millis(exec_ms)))
+            .rate_range(RateRange::from_hz(10.0, 10.0))
+            .build()
+            .unwrap(),
+    );
+}
+
+/// `blocker` + three tasks with the given deadlines; returns the graph.
+fn graph(deadlines: [f64; 3]) -> TaskGraph {
+    let mut b = TaskGraph::builder();
+    // The blocker has top priority/earliest deadline so every scheme runs
+    // it first; it occupies the processor while the others queue.
+    source(&mut b, "blocker", 0, 16.0, 15.0, Criticality::Low);
+    source(&mut b, "urgent", 5, deadlines[0], 10.0, Criticality::Low);
+    source(&mut b, "critical", 1, deadlines[1], 10.0, Criticality::High);
+    source(&mut b, "medium", 2, deadlines[2], 10.0, Criticality::Low);
+    b.build().unwrap()
+}
+
+/// Runs one period on one processor and returns the dispatch order of the
+/// non-blocker tasks.
+fn dispatch_order_with(graph: TaskGraph, scheme: Scheme, u: f64) -> Vec<String> {
+    let mut scheduler = scheme.build(DpsConfig::default());
+    scheduler.set_nominal_u(u);
+    let mut sim = Sim::new(
+        graph,
+        SimConfig {
+            processors: 1,
+            trace_capacity: 1000,
+            ..Default::default()
+        },
+        scheduler,
+    )
+    .unwrap();
+    sim.run_until(SimTime::from_millis(95.0));
+    sim.trace()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Dispatched { task, .. } => {
+                let name = sim.graph().spec(*task).name().to_owned();
+                (name != "blocker").then_some(name)
+            }
+            _ => None,
+        })
+        .take(3)
+        .collect()
+}
+
+/// Tight `urgent` deadline: 25 ms (laxity 0 once the blocker finishes).
+fn tight() -> TaskGraph {
+    graph([25.0, 90.0, 60.0])
+}
+
+#[test]
+fn hpf_dispatches_by_static_priority_and_starves_the_urgent_task() {
+    // HPF runs critical (p1) then medium (p2); by then `urgent` (p5,
+    // deadline 25 ms) has expired in the queue — the § II starvation
+    // pattern in miniature.
+    assert_eq!(
+        dispatch_order_with(tight(), Scheme::Hpf, 0.0),
+        vec!["critical", "medium"]
+    );
+    let mut sim = Sim::new(
+        tight(),
+        SimConfig {
+            processors: 1,
+            ..Default::default()
+        },
+        Scheme::Hpf.build(DpsConfig::default()),
+    )
+    .unwrap();
+    sim.run_until(SimTime::from_millis(95.0));
+    let urgent = sim.graph().find("urgent").unwrap();
+    assert!(sim.stats().task(urgent.index()).expired > 0);
+}
+
+#[test]
+fn edf_dispatches_by_deadline() {
+    assert_eq!(
+        dispatch_order_with(tight(), Scheme::Edf, 0.0),
+        vec!["urgent", "medium", "critical"]
+    );
+}
+
+#[test]
+fn edf_vd_promotes_the_high_criticality_task() {
+    // Virtual deadline of `critical`: 0.5 × 90 = 45 ms — ahead of `medium`
+    // (60 ms) but still behind `urgent` (25 ms).
+    assert_eq!(
+        dispatch_order_with(tight(), Scheme::EdfVd, 0.0),
+        vec!["urgent", "critical", "medium"]
+    );
+}
+
+#[test]
+fn hcperf_with_zero_u_behaves_like_least_laxity() {
+    // γ = 0: order by laxity = deadline − exec (equal exec → deadline
+    // order).
+    assert_eq!(
+        dispatch_order_with(tight(), Scheme::HcPerf, 0.0),
+        vec!["urgent", "medium", "critical"]
+    );
+}
+
+#[test]
+fn hcperf_with_large_u_reorders_by_priority_when_feasible() {
+    // Loose deadlines (60/90/70 ms): after the blocker finishes at 15 ms,
+    // running critical → medium → urgent still meets every deadline
+    // (finishes at 25/35/45 ms), so Eq. 11 admits a large γ and the γ·p_i
+    // term dominates the laxity differences.
+    let loose = graph([60.0, 90.0, 70.0]);
+    assert_eq!(
+        dispatch_order_with(loose, Scheme::HcPerf, 10.0),
+        vec!["critical", "medium", "urgent"]
+    );
+}
+
+#[test]
+fn hcperf_large_u_never_causes_misses_that_zero_u_avoids() {
+    // Feasibility clamping (Eq. 11–12): even with a huge nominal u, the
+    // tight fixture must not miss deadlines.
+    for u in [0.0, 0.05, 10.0] {
+        let mut scheduler = Scheme::HcPerf.build(DpsConfig::default());
+        scheduler.set_nominal_u(u);
+        let mut sim = Sim::new(
+            tight(),
+            SimConfig {
+                processors: 1,
+                ..Default::default()
+            },
+            scheduler,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_millis(95.0));
+        assert_eq!(
+            sim.stats().totals().missed_late + sim.stats().totals().expired,
+            0,
+            "u = {u} caused misses"
+        );
+    }
+}
+
+#[test]
+fn apollo_respects_static_binding() {
+    // Two tasks bound to different processors cannot swap even if idle.
+    let mut b = TaskGraph::builder();
+    b.add_task(
+        TaskSpec::builder("bound0")
+            .stage(Stage::Sensing)
+            .priority(Priority::new(1))
+            .relative_deadline(SimSpan::from_millis(50.0))
+            .exec_model(ExecModel::constant(SimSpan::from_millis(30.0)))
+            .rate_range(RateRange::from_hz(20.0, 20.0))
+            .affinity(0)
+            .build()
+            .unwrap(),
+    );
+    b.add_task(
+        TaskSpec::builder("bound1")
+            .stage(Stage::Sensing)
+            .priority(Priority::new(2))
+            .relative_deadline(SimSpan::from_millis(50.0))
+            .exec_model(ExecModel::constant(SimSpan::from_millis(30.0)))
+            .rate_range(RateRange::from_hz(20.0, 20.0))
+            .affinity(1)
+            .build()
+            .unwrap(),
+    );
+    let graph = b.build().unwrap();
+    let mut sim = Sim::new(
+        graph,
+        SimConfig {
+            processors: 2,
+            trace_capacity: 10_000,
+            ..Default::default()
+        },
+        Scheme::Apollo.build(DpsConfig::default()),
+    )
+    .unwrap();
+    sim.run_until(SimTime::from_secs(1.0));
+    for e in sim.trace().events() {
+        if let TraceEvent::Dispatched {
+            task, processor, ..
+        } = e
+        {
+            let expected = sim.graph().spec(*task).affinity().unwrap();
+            assert_eq!(*processor, expected);
+        }
+    }
+    assert!(sim.stats().dispatched() > 20);
+}

@@ -1,0 +1,318 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Implements the surface the bench crate uses — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, [`BenchmarkId`], [`Bencher::iter`]
+//! and [`Bencher::iter_batched`] — as a real measuring harness: each
+//! benchmark is warmed up, calibrated to a fixed per-sample duration, and
+//! reported as the median ns/iter over the collected samples on stdout,
+//! one line per benchmark:
+//!
+//! ```text
+//! group/function/param    time: 123.4 ns/iter (30 samples)
+//! ```
+//!
+//! There are no HTML reports, statistics beyond the median/min/max, or
+//! saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; the stub times each routine
+/// call individually, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+const CALIBRATION_TARGET: Duration = Duration::from_micros(500);
+const SAMPLE_TARGET_NS: f64 = 1_000_000.0;
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, subtracting nothing: the whole closure is the
+    /// measured unit.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: double the batch size until a batch is long enough
+        // to time reliably.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_TARGET || iters >= 1 << 22 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        let per_sample =
+            ((SAMPLE_TARGET_NS / per_iter_ns.max(0.1)).ceil() as u64).clamp(1, 1 << 24);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Times `routine` only; `setup` runs outside the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const RUNS_PER_SAMPLE: usize = 8;
+        for _ in 0..self.sample_count {
+            let mut total_ns: u128 = 0;
+            for _ in 0..RUNS_PER_SAMPLE {
+                let input = setup();
+                let start = Instant::now();
+                let out = routine(input);
+                total_ns += start.elapsed().as_nanos();
+                black_box(out);
+            }
+            self.samples.push(total_ns as f64 / RUNS_PER_SAMPLE as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_and_report(full_id: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::new(sample_count);
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{full_id:<56} time: (no samples)");
+        return;
+    }
+    let mut samples = bencher.samples;
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{full_id:<56} time: [{} {} {}] /iter ({} samples)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max),
+        samples.len(),
+    );
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_count = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30);
+        Criterion { sample_count }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count_override: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_and_report(&id.into().id, self.sample_count, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count_override = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_count_override
+            .unwrap_or(self.criterion.sample_count)
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_and_report(&full, self.samples(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_and_report(&full, self.samples(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("hcperf", 64).id, "hcperf/64");
+        assert_eq!(BenchmarkId::from_parameter("edf").id, "edf");
+        assert_eq!(BenchmarkId::from("pdc_step").id, "pdc_step");
+    }
+
+    #[test]
+    fn groups_run_without_panicking() {
+        let mut c = Criterion { sample_count: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u8)));
+    }
+}

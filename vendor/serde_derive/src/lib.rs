@@ -1,0 +1,489 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! The build container has no registry access, so `syn`/`quote` are
+//! unavailable; this crate parses the item declaration straight from the
+//! raw [`TokenStream`] and emits impls as source strings. It supports the
+//! shapes the workspace actually derives on:
+//!
+//! - structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! - externally-tagged enums with unit, newtype, tuple, and struct
+//!   variants (unit variant -> `"Name"`, payload variant ->
+//!   `{"Name": ...}`);
+//! - simple generics: lifetimes and bound-free type parameters (type
+//!   parameters get a `T: serde::Serialize`/`serde::Deserialize` bound).
+//!
+//! `#[serde(...)]` attributes are not interpreted; none appear in the
+//! workspace. Function-pointer field types (whose `->` would confuse the
+//! angle-bracket depth tracking) are unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field list of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list verbatim, e.g. `<'a, T>` (empty if none).
+    generics_decl: String,
+    /// Generic arguments for the type position, bounds stripped, e.g.
+    /// `<'a, T>`.
+    generics_use: String,
+    /// Names of type (non-lifetime) parameters, for trait bounds.
+    type_params: Vec<String>,
+    body: Body,
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    toks.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(t) if is_punct(t, '#') => {
+                *i += 2; // '#' plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `<...>` at `toks[*i]` if present. Returns (decl, use, type
+/// parameter names).
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, String, Vec<String>) {
+    if toks.get(*i).map(|t| is_punct(t, '<')) != Some(true) {
+        return (String::new(), String::new(), Vec::new());
+    }
+    let mut depth = 0i32;
+    let mut decl = Vec::new();
+    while let Some(t) = toks.get(*i) {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        }
+        decl.push(t.clone());
+        *i += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    // Split the inner tokens on top-level commas; keep each parameter up
+    // to its first `:` (bounds) or `=` (defaults).
+    let inner = &decl[1..decl.len() - 1];
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut d = 0i32;
+    let mut in_bound = false;
+    for t in inner {
+        if is_punct(t, '<') {
+            d += 1;
+        } else if is_punct(t, '>') {
+            d -= 1;
+        } else if d == 0 && is_punct(t, ',') {
+            params.push(Vec::new());
+            in_bound = false;
+            continue;
+        } else if d == 0 && (is_punct(t, ':') || is_punct(t, '=')) {
+            in_bound = true;
+        }
+        if !in_bound {
+            params.last_mut().unwrap().push(t.clone());
+        }
+    }
+    params.retain(|p| !p.is_empty());
+    let type_params: Vec<String> = params
+        .iter()
+        .filter_map(|p| match p.first() {
+            Some(TokenTree::Ident(id)) => Some(id.to_string()),
+            _ => None,
+        })
+        .collect();
+    let use_inner = params
+        .iter()
+        .map(|p| tokens_to_string(p))
+        .collect::<Vec<_>>()
+        .join(", ");
+    (
+        tokens_to_string(&decl),
+        format!("<{use_inner}>"),
+        type_params,
+    )
+}
+
+/// Advances past a type (or other clause) until a top-level `,`, which is
+/// consumed. Tracks `<...>` nesting; delimiter groups are atomic tokens.
+fn skip_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(t, ',') {
+            *i += 1;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(name) = toks.get(i).and_then(ident_of) else {
+            break;
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_until_comma(&toks, &mut i);
+        out.push(name);
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    for t in &toks {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(t, ',') {
+            commas += 1;
+        }
+    }
+    if is_punct(toks.last().unwrap(), ',') {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(name) = toks.get(i).and_then(ident_of) else {
+            break;
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        skip_until_comma(&toks, &mut i); // also skips `= discriminant`
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = toks
+        .get(i)
+        .and_then(ident_of)
+        .expect("expected `struct` or `enum`");
+    i += 1;
+    let name = toks.get(i).and_then(ident_of).expect("expected item name");
+    i += 1;
+    let (generics_decl, generics_use, type_params) = parse_generics(&toks, &mut i);
+    // Find the body, stepping over any `where` clause. A tuple struct's
+    // parenthesized field list sits before `where`, so take the first
+    // group of the right delimiter.
+    let mut body_group: Option<(Delimiter, TokenStream)> = None;
+    let mut saw_where = false;
+    while let Some(t) = toks.get(i) {
+        match t {
+            TokenTree::Ident(id) if id.to_string() == "where" => saw_where = true,
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace
+                    || (g.delimiter() == Delimiter::Parenthesis && !saw_where) =>
+            {
+                body_group = Some((g.delimiter(), g.stream()));
+                if g.delimiter() == Delimiter::Brace {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    let body = match (kw.as_str(), body_group) {
+        ("struct", Some((Delimiter::Brace, s))) => {
+            Body::Struct(Fields::Named(parse_named_fields(s)))
+        }
+        ("struct", Some((Delimiter::Parenthesis, s))) => {
+            Body::Struct(Fields::Tuple(count_tuple_fields(s)))
+        }
+        ("struct", None) => Body::Struct(Fields::Unit),
+        ("enum", Some((Delimiter::Brace, s))) => Body::Enum(parse_variants(s)),
+        _ => panic!("derive(Serialize/Deserialize): unsupported item shape"),
+    };
+    Input {
+        name,
+        generics_decl,
+        generics_use,
+        type_params,
+        body,
+    }
+}
+
+fn where_clause(input: &Input, bound: &str) -> String {
+    if input.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounds = input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("where {bounds}")
+    }
+}
+
+fn serialize_fields_expr(fields: &Fields, access: &dyn Fn(usize, &str) -> String) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries = names
+                .iter()
+                .enumerate()
+                .map(|(k, n)| {
+                    format!(
+                        "({n:?}.to_string(), serde::Serialize::to_value({}))",
+                        access(k, n)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Object(vec![{entries}])")
+        }
+        Fields::Tuple(1) => format!("serde::Serialize::to_value({})", access(0, "")),
+        Fields::Tuple(n) => {
+            let items = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value({})", access(k, "")))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Array(vec![{items}])")
+        }
+        Fields::Unit => "serde::Value::Null".to_string(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => serialize_fields_expr(fields, &|k, n| {
+            if n.is_empty() {
+                format!("&self.{k}")
+            } else {
+                format!("&self.{n}")
+            }
+        }),
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => serde::Value::String({vname:?}.to_string()),"
+                        ),
+                        Fields::Named(names) => {
+                            let pat = names.join(", ");
+                            let inner =
+                                serialize_fields_expr(&v.fields, &|_, n| n.to_string());
+                            format!(
+                                "{name}::{vname} {{ {pat} }} => serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),"
+                            )
+                        }
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("f{k}")).collect();
+                            let pat = binders.join(", ");
+                            let inner =
+                                serialize_fields_expr(&v.fields, &|k, _| format!("f{k}"));
+                            format!(
+                                "{name}::{vname}({pat}) => serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    let decl = &input.generics_decl;
+    let use_ = &input.generics_use;
+    let wc = where_clause(&input, "serde::Serialize");
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{decl} serde::Serialize for {name}{use_} {wc} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+fn deserialize_fields_expr(container: &str, ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{n}: serde::Deserialize::from_value(serde::__private::field(obj, {n:?}, {container:?})?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "{{\n            let obj = {src}.as_object_slice().ok_or_else(|| serde::DeError::custom(\"expected object for {container}\"))?;\n            Ok({ctor} {{\n                {inits}\n            }})\n        }}"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({ctor}(serde::Deserialize::from_value({src})?))")
+        }
+        Fields::Tuple(n) => {
+            let items = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&arr[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\n            let arr = {src}.as_array().ok_or_else(|| serde::DeError::custom(\"expected array for {container}\"))?;\n            if arr.len() != {n} {{\n                return Err(serde::DeError::custom(\"wrong tuple arity for {container}\"));\n            }}\n            Ok({ctor}({items}))\n        }}"
+            )
+        }
+        Fields::Unit => format!("Ok({ctor})"),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => deserialize_fields_expr(name, name, fields, "v"),
+        Body::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let unit_match = if unit_arms.is_empty() {
+                format!(
+                    "return Err(serde::DeError::custom(format!(\"unexpected string variant `{{s}}` for {name}\")));"
+                )
+            } else {
+                format!(
+                    "return match s {{\n                {unit_arms}\n                _ => Err(serde::DeError::custom(format!(\"unknown variant `{{s}}` for {name}\"))),\n            }};"
+                )
+            };
+            let payload_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let container = format!("{name}::{}", v.name);
+                    let expr =
+                        deserialize_fields_expr(&container, &container, &v.fields, "payload");
+                    format!("{:?} => {expr},", v.name)
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            let payload_match = if payload_arms.is_empty() {
+                format!(
+                    "Err(serde::DeError::custom(format!(\"unknown variant `{{tag}}` for {name}\")))"
+                )
+            } else {
+                format!(
+                    "match tag.as_str() {{\n            {payload_arms}\n            _ => Err(serde::DeError::custom(format!(\"unknown variant `{{tag}}` for {name}\"))),\n        }}"
+                )
+            };
+            format!(
+                "if let Some(s) = v.as_str() {{\n            {unit_match}\n        }}\n        \
+                 let obj = v.as_object_slice().ok_or_else(|| serde::DeError::custom(\"expected string or object for {name}\"))?;\n        \
+                 if obj.len() != 1 {{\n            return Err(serde::DeError::custom(\"expected single-key object for {name}\"));\n        }}\n        \
+                 let (tag, payload) = &obj[0];\n        \
+                 {payload_match}"
+            )
+        }
+    };
+    let decl = &input.generics_decl;
+    let use_ = &input.generics_use;
+    let wc = where_clause(&input, "serde::Deserialize");
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{decl} serde::Deserialize for {name}{use_} {wc} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}

@@ -1,14 +1,19 @@
 //! Ablation bench: the two γ_max search strategies of the Dynamic Priority
-//! Scheduler (DESIGN.md § 5.1).
+//! Scheduler (DESIGN.md § 5.1), each in two configurations:
 //!
-//! * Bisection assumes interval-shaped feasibility — `O(iter · n log n)`.
-//! * The critical-point sweep is exact but enumerates `O(n²)` queue-order
-//!   crossings.
+//! * `*` (after) — the shipping incremental search: γ-independent job data
+//!   cached once per recompute, one full sort, O(n + inversions) re-rank
+//!   per probe, scratch buffers reused across recomputes.
+//! * `*_sort_per_probe` (before) — the retained pre-optimization
+//!   [`hcperf::dps::reference`] search that rebuilds and re-sorts the
+//!   ranking on every feasibility probe.
 //!
-//! The crossover as the ready queue grows motivates the bisection default.
+//! Bisection vs critical-points crossover as the ready queue grows
+//! motivates the bisection default; cached vs sort-per-probe is the hot
+//! path optimization headline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use hcperf::dps::{DpsConfig, DynamicPriorityScheduler, GammaSearch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcperf::dps::{reference, DpsConfig, DynamicPriorityScheduler, GammaSearch};
 use hcperf_rtsim::{Job, JobId, SchedContext};
 use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
 use hcperf_taskgraph::{SimSpan, SimTime, TaskId};
@@ -37,36 +42,41 @@ fn bench_search(c: &mut Criterion) {
             })
             .collect();
         let candidates: Vec<usize> = (0..queue.len()).collect();
+        let ctx = || SchedContext {
+            now: SimTime::from_secs(10.0),
+            graph: &graph,
+            queue: &queue,
+            candidates: &candidates,
+            processor: 0,
+            observed_exec: &observed,
+            processor_remaining: &remaining,
+        };
         for (label, search) in [
             ("bisection", GammaSearch::Bisection { iterations: 24 }),
             ("critical_points", GammaSearch::CriticalPoints),
         ] {
+            let config = DpsConfig {
+                search,
+                ..Default::default()
+            };
+            // After: one full recompute per iteration, warm scratch.
             group.bench_with_input(BenchmarkId::new(label, queue_len), &queue_len, |b, _| {
-                b.iter_batched(
-                    || {
-                        let mut dps = DynamicPriorityScheduler::new(DpsConfig {
-                            search,
-                            ..Default::default()
-                        });
-                        dps.set_nominal_u(0.1);
-                        dps
-                    },
-                    |mut dps| {
-                        let ctx = SchedContext {
-                            now: SimTime::from_secs(10.0),
-                            graph: &graph,
-                            queue: &queue,
-                            candidates: &candidates,
-                            processor: 0,
-                            observed_exec: &observed,
-                            processor_remaining: &remaining,
-                        };
-                        dps.recompute_gamma(&ctx);
-                        black_box(dps.gamma_max())
-                    },
-                    BatchSize::SmallInput,
-                );
+                let mut dps = DynamicPriorityScheduler::new(config);
+                dps.set_nominal_u(0.1);
+                b.iter(|| {
+                    let ctx = ctx();
+                    dps.recompute_gamma(&ctx);
+                    black_box(dps.gamma_max())
+                });
             });
+            // Before: the sort-per-probe reference on the same fixture.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_sort_per_probe"), queue_len),
+                &queue_len,
+                |b, _| {
+                    b.iter(|| black_box(reference::gamma_max(&ctx(), &config)));
+                },
+            );
         }
     }
     group.finish();

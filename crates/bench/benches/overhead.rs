@@ -73,7 +73,7 @@ fn bench_gamma_recompute(c: &mut Criterion) {
     for queue_len in [8usize, 32, 128] {
         let (queue, observed, remaining) = queue_fixture(&graph, queue_len);
         let candidates: Vec<usize> = (0..queue.len()).collect();
-        c.bench_function(&format!("gamma_recompute_q{queue_len}"), |b| {
+        c.bench_function(format!("gamma_recompute_q{queue_len}").as_str(), |b| {
             b.iter_batched(
                 || {
                     let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());

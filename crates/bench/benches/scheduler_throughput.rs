@@ -1,11 +1,14 @@
 //! Dispatch-decision throughput of every scheme on a shared ready-queue
-//! fixture: how long one `select()` call takes at realistic queue depths.
+//! fixture: how long one `select()` call takes at realistic queue depths —
+//! plus `dispatch_heavy`, which drives the whole engine at elevated source
+//! rates so the `try_dispatch` hot path (candidate filtering, queue
+//! maintenance, γ recomputation) dominates the measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcperf::{DpsConfig, Scheme};
-use hcperf_rtsim::{Job, JobId, SchedContext, Scheduler};
+use hcperf_rtsim::{Job, JobId, SchedContext, Scheduler, Sim, SimConfig};
 use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
-use hcperf_taskgraph::{SimSpan, SimTime, TaskId};
+use hcperf_taskgraph::{Rate, SimSpan, SimTime, TaskId};
 use std::hint::black_box;
 
 fn bench_select(c: &mut Criterion) {
@@ -57,5 +60,43 @@ fn bench_select(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_select);
+/// One simulated second of the full engine under deliberate overload:
+/// few processors, sources pushed to high rates, expiry keeping the queue
+/// bounded but deep. Dispatch decisions dominate the wall-clock cost.
+fn bench_engine_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_heavy");
+    group.sample_size(15);
+    for (label, processors, hz) in [("2cpu_60hz", 2usize, 60.0), ("4cpu_120hz", 4usize, 120.0)] {
+        for scheme in [Scheme::Edf, Scheme::HcPerf] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.to_string(), label),
+                &(processors, hz),
+                |b, &(processors, hz)| {
+                    b.iter(|| {
+                        let graph = apollo_graph(&GraphOptions::default()).unwrap();
+                        let mut sim = Sim::new(
+                            graph,
+                            SimConfig {
+                                processors,
+                                ..Default::default()
+                            },
+                            scheme.build(DpsConfig::default()),
+                        )
+                        .unwrap();
+                        let sources: Vec<_> = sim.source_rates().iter().map(|&(t, _)| t).collect();
+                        for s in sources {
+                            let _ = sim.set_source_rate(s, Rate::from_hz(hz));
+                        }
+                        sim.scheduler_mut().set_nominal_u(0.05);
+                        sim.run_until(SimTime::from_secs(1.0));
+                        black_box(sim.stats().released())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select, bench_engine_dispatch);
 criterion_main!(benches);

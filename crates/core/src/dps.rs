@@ -29,8 +29,21 @@
 //! interval `[0, γ_max]` (the paper's framing, and the default), and an
 //! exact sweep over the *critical γ values* where the queue order changes —
 //! the ablation benchmark compares them.
+//!
+//! **Probe cost.** A recompute evaluates Eq. 11 at up to `2 + iterations`
+//! γ values against one queue snapshot. Everything γ-independent — static
+//! priorities, laxities at `now`, observed execution times, absolute
+//! deadlines — is gathered once into a scratch buffer owned by the
+//! scheduler, the queue is ranked once with a full sort, and each further
+//! probe only *re-ranks* the previous order with a single insertion pass
+//! (adjacent probes reorder few jobs, so the pass is `O(n + inversions)`
+//! rather than a fresh `O(n log n)` sort). The pre-optimization
+//! sort-per-probe search is kept verbatim in [`reference`] as the benchmark
+//! baseline and as an independent oracle in tests.
 
-use hcperf_rtsim::{SchedContext, Scheduler};
+use std::cmp::Ordering;
+
+use hcperf_rtsim::{JobId, SchedContext, Scheduler};
 use hcperf_taskgraph::{SimSpan, SimTime};
 
 /// How the scheduler searches for `γ_max`.
@@ -108,6 +121,124 @@ pub struct DynamicPriorityScheduler {
     gamma_max: f64,
     last_compute: Option<SimTime>,
     dirty: bool,
+    scratch: GammaScratch,
+}
+
+/// Per-job constraint data cached for one γ recomputation, plus the ranking
+/// maintained incrementally across probes. Owned by the scheduler so
+/// steady-state recomputes allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct GammaScratch {
+    /// Static priority `p_i` per queue entry.
+    prio: Vec<f64>,
+    /// Laxity `d_i` at `now` (seconds) per queue entry.
+    laxity: Vec<f64>,
+    /// Observed execution time `c_i` (seconds) per queue entry.
+    exec: Vec<f64>,
+    /// Absolute deadline (seconds) per queue entry.
+    deadline: Vec<f64>,
+    /// Tie-break token per queue entry.
+    id: Vec<JobId>,
+    /// `γ·p_i + d_i` at the current probe.
+    key: Vec<f64>,
+    /// Queue indices ranked by `key` (ascending = higher priority).
+    order: Vec<usize>,
+    /// Jobs excluded from the Eq. 11 constraint set (relaxed mode).
+    skip: Vec<bool>,
+    /// Candidate γ values for the critical-point sweep.
+    points: Vec<f64>,
+}
+
+impl GammaScratch {
+    /// Gathers the γ-independent job data; the ranking starts unordered.
+    fn load(&mut self, ctx: &SchedContext<'_>) {
+        let n = ctx.queue.len();
+        self.prio.clear();
+        self.laxity.clear();
+        self.exec.clear();
+        self.deadline.clear();
+        self.id.clear();
+        self.order.clear();
+        for job in ctx.queue {
+            let c = ctx.exec_of(job);
+            self.prio
+                .push(ctx.graph.spec(job.task()).priority().value() as f64);
+            self.laxity.push(job.laxity(ctx.now, c).as_secs());
+            self.exec.push(c.as_secs());
+            self.deadline.push(job.absolute_deadline().as_secs());
+            self.id.push(job.id());
+        }
+        self.key.clear();
+        self.key.resize(n, 0.0);
+        self.order.extend(0..n);
+        self.skip.clear();
+        self.skip.resize(n, false);
+    }
+
+    /// Ranks the queue for a probe at `gamma`. The first ranking of a
+    /// recompute does a full sort; later probes repair the previous order
+    /// with one insertion pass, `O(n + inversions)`.
+    fn rank(&mut self, gamma: f64, full: bool) {
+        for i in 0..self.key.len() {
+            self.key[i] = gamma * self.prio[i] + self.laxity[i];
+        }
+        let key = &self.key;
+        let id = &self.id;
+        let ahead = |a: usize, b: usize| -> bool {
+            match key[a].total_cmp(&key[b]) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => id[a] < id[b],
+            }
+        };
+        if full {
+            self.order.sort_unstable_by(|&a, &b| {
+                key[a].total_cmp(&key[b]).then_with(|| id[a].cmp(&id[b]))
+            });
+        } else {
+            for i in 1..self.order.len() {
+                let moving = self.order[i];
+                let mut j = i;
+                while j > 0 && ahead(moving, self.order[j - 1]) {
+                    self.order[j] = self.order[j - 1];
+                    j -= 1;
+                }
+                self.order[j] = moving;
+            }
+        }
+    }
+
+    /// The Eq. 11 feasibility walk over the current ranking: every
+    /// non-skipped job must be able to start early enough.
+    fn feasible(&self, now: f64, base: f64, n_p: f64) -> bool {
+        let mut higher_work = 0.0;
+        for &i in &self.order {
+            let c = self.exec[i];
+            if !self.skip[i] {
+                let finish = now + base + higher_work / n_p + c;
+                if finish > self.deadline[i] {
+                    return false;
+                }
+            }
+            higher_work += c;
+        }
+        true
+    }
+
+    /// Marks jobs that miss their deadline even under the current (γ = 0)
+    /// ranking — no γ can save them, so relaxed mode drops them from the
+    /// constraint set.
+    fn mark_doomed(&mut self, now: f64, base: f64, n_p: f64) {
+        let mut higher_work = 0.0;
+        for &i in &self.order {
+            let c = self.exec[i];
+            let finish = now + base + higher_work / n_p + c;
+            if finish > self.deadline[i] {
+                self.skip[i] = true;
+            }
+            higher_work += c;
+        }
+    }
 }
 
 impl DynamicPriorityScheduler {
@@ -122,6 +253,7 @@ impl DynamicPriorityScheduler {
             gamma_max: 0.0,
             last_compute: None,
             dirty: true,
+            scratch: GammaScratch::default(),
         }
     }
 
@@ -168,7 +300,7 @@ impl DynamicPriorityScheduler {
     /// nominal `u` into `[0, γ_max]` (Eq. 12). Exposed for benchmarks and
     /// diagnostics; [`select`](Scheduler::select) calls it automatically.
     pub fn recompute_gamma(&mut self, ctx: &SchedContext<'_>) {
-        self.gamma_max = match gamma_max(ctx, &self.config) {
+        self.gamma_max = match self.gamma_max_cached(ctx) {
             Some(g) => g,
             None => {
                 // Overloaded: no γ guarantees all deadlines (paper outcome 1).
@@ -194,18 +326,108 @@ impl DynamicPriorityScheduler {
             self.recompute_gamma(ctx);
         }
     }
+
+    /// `γ_max` search against a cached snapshot of the queue (see the
+    /// module docs). Returns `None` when even `γ = 0` is infeasible.
+    fn gamma_max_cached(&mut self, ctx: &SchedContext<'_>) -> Option<f64> {
+        let config = self.config;
+        if ctx.queue.is_empty() {
+            return Some(config.gamma_ceiling);
+        }
+        let now = ctx.now.as_secs();
+        let n_p = ctx.processor_count() as f64;
+        let base = ctx.total_remaining().as_secs() / n_p;
+        let s = &mut self.scratch;
+        s.load(ctx);
+        s.rank(0.0, true);
+        if !config.strict_eq11 {
+            s.mark_doomed(now, base, n_p);
+        }
+        if !s.feasible(now, base, n_p) {
+            return None;
+        }
+        match config.search {
+            GammaSearch::Bisection { iterations } => {
+                s.rank(config.gamma_ceiling, false);
+                if s.feasible(now, base, n_p) {
+                    return Some(config.gamma_ceiling);
+                }
+                let mut lo = 0.0;
+                let mut hi = config.gamma_ceiling;
+                for _ in 0..iterations {
+                    let mid = 0.5 * (lo + hi);
+                    s.rank(mid, false);
+                    if s.feasible(now, base, n_p) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Some(lo)
+            }
+            GammaSearch::CriticalPoints => {
+                // γ values where two jobs swap order:
+                // γ* = (d_b − d_a)/(p_a − p_b).
+                let n = s.prio.len();
+                s.points.clear();
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let (pa, pb) = (s.prio[a], s.prio[b]);
+                        if pa == pb {
+                            continue;
+                        }
+                        let crossing = (s.laxity[b] - s.laxity[a]) / (pa - pb);
+                        if crossing > 0.0 && crossing < config.gamma_ceiling {
+                            s.points.push(crossing);
+                        }
+                    }
+                }
+                s.points.push(config.gamma_ceiling);
+                s.points.sort_by(f64::total_cmp);
+                s.points.dedup();
+                // The queue order is constant between consecutive crossover
+                // points, so feasibility is constant on each interval. Walk
+                // intervals from the top; the first feasible interval's
+                // upper bound is the supremum of the feasible set.
+                for i in (0..s.points.len()).rev() {
+                    let lower = if i == 0 { 0.0 } else { s.points[i - 1] };
+                    let probe = 0.5 * (lower + s.points[i]);
+                    s.rank(probe, false);
+                    if s.feasible(now, base, n_p) {
+                        return Some(s.points[i]);
+                    }
+                }
+                Some(0.0)
+            }
+        }
+    }
 }
 
 impl Scheduler for DynamicPriorityScheduler {
     fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize> {
         self.maybe_recompute(ctx);
         let gamma = self.gamma;
-        ctx.candidates.iter().copied().min_by(|&a, &b| {
-            priority_key(ctx, a, gamma)
-                .total_cmp(&priority_key(ctx, b, gamma))
-                .then_with(|| ctx.queue[a].release().cmp(&ctx.queue[b].release()))
-                .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
-        })
+        // Single pass evaluating each candidate's key exactly once; ties
+        // break on (release, id) like the baselines.
+        let mut best: Option<(f64, usize)> = None;
+        for &i in ctx.candidates {
+            let key = priority_key(ctx, i, gamma);
+            let better = match best {
+                None => true,
+                Some((best_key, best_idx)) => match key.total_cmp(&best_key) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        let (a, b) = (&ctx.queue[i], &ctx.queue[best_idx]);
+                        (a.release(), a.id()) < (b.release(), b.id())
+                    }
+                },
+            };
+            if better {
+                best = Some((key, i));
+            }
+        }
+        best.map(|(_, i)| i)
     }
 
     fn name(&self) -> &str {
@@ -222,133 +444,152 @@ fn priority_key(ctx: &SchedContext<'_>, index: usize, gamma: f64) -> f64 {
     gamma * p + laxity
 }
 
-/// Checks the Eq. 11 constraint system at a fixed γ.
+/// The pre-optimization `γ_max` search, kept verbatim.
 ///
-/// Orders the whole ready queue by `P_i(γ)` and verifies each job can start
-/// early enough: `now + ΣT_p/n_p + Σ_{higher priority} c_i/n_p + c_j ≤
-/// absolute deadline`. `skip` marks jobs excluded from the constraints.
-fn feasible(ctx: &SchedContext<'_>, gamma: f64, skip: &[bool]) -> bool {
-    let n_p = ctx.processor_count() as f64;
-    let base = ctx.total_remaining().as_secs() / n_p;
-    let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
-    order.sort_by(|&a, &b| {
-        priority_key(ctx, a, gamma)
-            .total_cmp(&priority_key(ctx, b, gamma))
-            .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
-    });
-    let mut higher_work = 0.0;
-    for &i in &order {
-        let job = &ctx.queue[i];
-        let c = ctx.exec_of(job).as_secs();
-        if !skip[i] {
-            let start_delay = base + higher_work / n_p;
-            let finish = ctx.now.as_secs() + start_delay + c;
+/// Every feasibility probe rebuilds and re-sorts the whole ranking —
+/// `O(n log n)` per probe, with fresh allocations. It exists for two
+/// reasons: the `gamma_search/*_sort_per_probe` benchmarks measure it as
+/// the *before* configuration, and the unit tests use it as an independent
+/// oracle for the incremental implementation (both must return bit-equal
+/// results, since they evaluate the same comparisons at the same probes).
+pub mod reference {
+    use super::{priority_key, DpsConfig, GammaSearch};
+    use hcperf_rtsim::SchedContext;
+
+    /// Checks the Eq. 11 constraint system at a fixed γ.
+    ///
+    /// Orders the whole ready queue by `P_i(γ)` and verifies each job can
+    /// start early enough: `now + ΣT_p/n_p + Σ_{higher priority} c_i/n_p +
+    /// c_j ≤ absolute deadline`. `skip` marks jobs excluded from the
+    /// constraints.
+    fn feasible(ctx: &SchedContext<'_>, gamma: f64, skip: &[bool]) -> bool {
+        let n_p = ctx.processor_count() as f64;
+        let base = ctx.total_remaining().as_secs() / n_p;
+        let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            priority_key(ctx, a, gamma)
+                .total_cmp(&priority_key(ctx, b, gamma))
+                .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+        });
+        let mut higher_work = 0.0;
+        for &i in &order {
+            let job = &ctx.queue[i];
+            let c = ctx.exec_of(job).as_secs();
+            if !skip[i] {
+                let start_delay = base + higher_work / n_p;
+                let finish = ctx.now.as_secs() + start_delay + c;
+                if finish > job.absolute_deadline().as_secs() {
+                    return false;
+                }
+            }
+            higher_work += c;
+        }
+        true
+    }
+
+    /// Finds `γ_max` per the configured strategy, re-sorting on every
+    /// probe. Returns `None` when even `γ = 0` is infeasible (overload).
+    #[must_use]
+    pub fn gamma_max(ctx: &SchedContext<'_>, config: &DpsConfig) -> Option<f64> {
+        if ctx.queue.is_empty() {
+            return Some(config.gamma_ceiling);
+        }
+        // Constraint set: under strict Eq. 11 every job constrains;
+        // otherwise drop jobs that are doomed even under the
+        // deadline-optimal γ = 0 order.
+        let no_skip = vec![false; ctx.queue.len()];
+        let skip = if config.strict_eq11 {
+            no_skip.clone()
+        } else {
+            doomed_at_zero(ctx)
+        };
+        if !feasible(ctx, 0.0, &skip) {
+            return None;
+        }
+        match config.search {
+            GammaSearch::Bisection { iterations } => {
+                if feasible(ctx, config.gamma_ceiling, &skip) {
+                    return Some(config.gamma_ceiling);
+                }
+                let mut lo = 0.0;
+                let mut hi = config.gamma_ceiling;
+                for _ in 0..iterations {
+                    let mid = 0.5 * (lo + hi);
+                    if feasible(ctx, mid, &skip) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Some(lo)
+            }
+            GammaSearch::CriticalPoints => {
+                // γ values where two jobs swap order:
+                // γ* = (d_b − d_a)/(p_a − p_b).
+                let mut points: Vec<f64> = Vec::new();
+                for a in 0..ctx.queue.len() {
+                    for b in (a + 1)..ctx.queue.len() {
+                        let pa = ctx.graph.spec(ctx.queue[a].task()).priority().value() as f64;
+                        let pb = ctx.graph.spec(ctx.queue[b].task()).priority().value() as f64;
+                        if pa == pb {
+                            continue;
+                        }
+                        let da = ctx.queue[a]
+                            .laxity(ctx.now, ctx.exec_of(&ctx.queue[a]))
+                            .as_secs();
+                        let db = ctx.queue[b]
+                            .laxity(ctx.now, ctx.exec_of(&ctx.queue[b]))
+                            .as_secs();
+                        let crossing = (db - da) / (pa - pb);
+                        if crossing > 0.0 && crossing < config.gamma_ceiling {
+                            points.push(crossing);
+                        }
+                    }
+                }
+                points.push(config.gamma_ceiling);
+                points.sort_by(f64::total_cmp);
+                points.dedup();
+                // The order of the queue is constant between consecutive
+                // crossover points, so feasibility is constant on each
+                // interval. Walk intervals from the top; the first feasible
+                // interval's upper bound is the supremum of the feasible
+                // set.
+                for i in (0..points.len()).rev() {
+                    let lower = if i == 0 { 0.0 } else { points[i - 1] };
+                    let probe = 0.5 * (lower + points[i]);
+                    if feasible(ctx, probe, &skip) {
+                        return Some(points[i]);
+                    }
+                }
+                Some(0.0)
+            }
+        }
+    }
+
+    /// Marks jobs that cannot meet their deadline even under the γ = 0
+    /// order.
+    fn doomed_at_zero(ctx: &SchedContext<'_>) -> Vec<bool> {
+        let n_p = ctx.processor_count() as f64;
+        let base = ctx.total_remaining().as_secs() / n_p;
+        let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            priority_key(ctx, a, 0.0)
+                .total_cmp(&priority_key(ctx, b, 0.0))
+                .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+        });
+        let mut doomed = vec![false; ctx.queue.len()];
+        let mut higher_work = 0.0;
+        for &i in &order {
+            let job = &ctx.queue[i];
+            let c = ctx.exec_of(job).as_secs();
+            let finish = ctx.now.as_secs() + base + higher_work / n_p + c;
             if finish > job.absolute_deadline().as_secs() {
-                return false;
+                doomed[i] = true;
             }
+            higher_work += c;
         }
-        higher_work += c;
+        doomed
     }
-    true
-}
-
-/// Finds `γ_max` per the configured strategy. Returns `None` when even
-/// `γ = 0` is infeasible (system overloaded).
-fn gamma_max(ctx: &SchedContext<'_>, config: &DpsConfig) -> Option<f64> {
-    if ctx.queue.is_empty() {
-        return Some(config.gamma_ceiling);
-    }
-    // Constraint set: under strict Eq. 11 every job constrains; otherwise
-    // drop jobs that are doomed even under the deadline-optimal γ = 0 order.
-    let no_skip = vec![false; ctx.queue.len()];
-    let skip = if config.strict_eq11 {
-        no_skip.clone()
-    } else {
-        doomed_at_zero(ctx)
-    };
-    if !feasible(ctx, 0.0, &skip) {
-        return None;
-    }
-    match config.search {
-        GammaSearch::Bisection { iterations } => {
-            if feasible(ctx, config.gamma_ceiling, &skip) {
-                return Some(config.gamma_ceiling);
-            }
-            let mut lo = 0.0;
-            let mut hi = config.gamma_ceiling;
-            for _ in 0..iterations {
-                let mid = 0.5 * (lo + hi);
-                if feasible(ctx, mid, &skip) {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-            }
-            Some(lo)
-        }
-        GammaSearch::CriticalPoints => {
-            // γ values where two jobs swap order: γ* = (d_b − d_a)/(p_a − p_b).
-            let mut points: Vec<f64> = Vec::new();
-            for a in 0..ctx.queue.len() {
-                for b in (a + 1)..ctx.queue.len() {
-                    let pa = ctx.graph.spec(ctx.queue[a].task()).priority().value() as f64;
-                    let pb = ctx.graph.spec(ctx.queue[b].task()).priority().value() as f64;
-                    if pa == pb {
-                        continue;
-                    }
-                    let da = ctx.queue[a]
-                        .laxity(ctx.now, ctx.exec_of(&ctx.queue[a]))
-                        .as_secs();
-                    let db = ctx.queue[b]
-                        .laxity(ctx.now, ctx.exec_of(&ctx.queue[b]))
-                        .as_secs();
-                    let crossing = (db - da) / (pa - pb);
-                    if crossing > 0.0 && crossing < config.gamma_ceiling {
-                        points.push(crossing);
-                    }
-                }
-            }
-            points.push(config.gamma_ceiling);
-            points.sort_by(f64::total_cmp);
-            points.dedup();
-            // The order of the queue is constant between consecutive
-            // crossover points, so feasibility is constant on each interval.
-            // Walk intervals from the top; the first feasible interval's
-            // upper bound is the supremum of the feasible set.
-            for i in (0..points.len()).rev() {
-                let lower = if i == 0 { 0.0 } else { points[i - 1] };
-                let probe = 0.5 * (lower + points[i]);
-                if feasible(ctx, probe, &skip) {
-                    return Some(points[i]);
-                }
-            }
-            Some(0.0)
-        }
-    }
-}
-
-/// Marks jobs that cannot meet their deadline even under the γ = 0 order.
-fn doomed_at_zero(ctx: &SchedContext<'_>) -> Vec<bool> {
-    let n_p = ctx.processor_count() as f64;
-    let base = ctx.total_remaining().as_secs() / n_p;
-    let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
-    order.sort_by(|&a, &b| {
-        priority_key(ctx, a, 0.0)
-            .total_cmp(&priority_key(ctx, b, 0.0))
-            .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
-    });
-    let mut doomed = vec![false; ctx.queue.len()];
-    let mut higher_work = 0.0;
-    for &i in &order {
-        let job = &ctx.queue[i];
-        let c = ctx.exec_of(job).as_secs();
-        let finish = ctx.now.as_secs() + base + higher_work / n_p + c;
-        if finish > job.absolute_deadline().as_secs() {
-            doomed[i] = true;
-        }
-        higher_work += c;
-    }
-    doomed
 }
 
 #[cfg(test)]
@@ -563,6 +804,79 @@ mod tests {
         let p_mid = priority_key(&ctx, 0, 0.05);
         let p_high = priority_key(&ctx, 0, 0.2);
         assert!(p_low < p_mid && p_mid < p_high);
+    }
+
+    #[test]
+    fn incremental_search_matches_sort_per_probe_reference() {
+        // The cached/incremental γ_max must be bit-equal to the retained
+        // sort-per-probe implementation: both evaluate the same comparisons
+        // at the same probe values. Sweep queue shapes, processor counts,
+        // strictness, and both strategies.
+        let shapes: [&[(u64, usize, f64, f64)]; 4] = [
+            &[(0, 0, 0.0, 40.0), (1, 1, 0.0, 35.0), (2, 2, 0.0, 60.0)],
+            &[
+                (0, 3, 0.0, 22.0),
+                (1, 0, 0.0, 25.0),
+                (2, 1, 0.0, 25.0),
+                (3, 2, 0.0, 30.0),
+            ],
+            &[(5, 1, 0.0, 50.0), (3, 1, 0.0, 50.0)], // equal-priority tie
+            &[(0, 0, 0.0, 10.0), (1, 1, 0.0, 500.0)], // one doomed job
+        ];
+        for jobs in shapes {
+            let queue: Vec<Job> = jobs
+                .iter()
+                .map(|&(id, task, rel, dl)| job(id, task, rel, dl))
+                .collect();
+            for processors in [1usize, 2, 4] {
+                for strict in [false, true] {
+                    for search in [
+                        GammaSearch::Bisection { iterations: 24 },
+                        GammaSearch::CriticalPoints,
+                    ] {
+                        let fx = Fixture::new(queue.clone(), 10.0, processors);
+                        let config = DpsConfig {
+                            search,
+                            strict_eq11: strict,
+                            ..Default::default()
+                        };
+                        let mut dps = DynamicPriorityScheduler::new(config);
+                        let expected = reference::gamma_max(&fx.ctx(), &config);
+                        let got = dps.gamma_max_cached(&fx.ctx());
+                        assert_eq!(
+                            got, expected,
+                            "jobs {jobs:?} processors {processors} strict {strict} {search:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_recomputes() {
+        // Two consecutive recomputes over queues of the same depth must not
+        // regrow the scratch buffers (the zero-steady-state-allocation
+        // contract: capacity is retained between recomputes).
+        let queue = vec![job(0, 0, 0.0, 40.0), job(1, 1, 0.0, 35.0)];
+        let fx = Fixture::new(queue, 10.0, 2);
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(0.1);
+        dps.recompute_gamma(&fx.ctx());
+        let caps = (
+            dps.scratch.prio.capacity(),
+            dps.scratch.order.capacity(),
+            dps.scratch.skip.capacity(),
+        );
+        dps.recompute_gamma(&fx.ctx());
+        assert_eq!(
+            caps,
+            (
+                dps.scratch.prio.capacity(),
+                dps.scratch.order.capacity(),
+                dps.scratch.skip.capacity(),
+            )
+        );
     }
 
     #[test]

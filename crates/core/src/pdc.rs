@@ -71,6 +71,9 @@ pub struct PerformanceDirectedController {
     config: PdcConfig,
     mfc: ModelFreeControl,
     u: f64,
+    /// Whether the previous step was inside the deadband; the MFC is reset
+    /// once on *entry*, not on every in-band step.
+    in_deadband: bool,
 }
 
 impl PerformanceDirectedController {
@@ -85,6 +88,7 @@ impl PerformanceDirectedController {
             config,
             mfc,
             u: 0.0,
+            in_deadband: false,
         })
     }
 
@@ -103,13 +107,20 @@ impl PerformanceDirectedController {
     pub fn step(&mut self, tracking_error: f64) -> f64 {
         let magnitude = tracking_error.abs();
         if magnitude < self.config.deadband {
-            self.mfc.reset();
+            // Reset the MFC once, on the transition into the deadband. The
+            // loop then restarts cleanly when the error next leaves the band
+            // without being re-zeroed on every in-band period.
+            if !self.in_deadband {
+                self.mfc.reset();
+                self.in_deadband = true;
+            }
             self.u *= self.config.deadband_decay;
             if self.u.abs() < 1e-6 {
                 self.u = 0.0;
             }
             return self.u;
         }
+        self.in_deadband = false;
         let raw = self.mfc.step(magnitude);
         self.u = self.config.error_scale * raw;
         self.u
@@ -133,6 +144,7 @@ impl PerformanceDirectedController {
     pub fn reset(&mut self) {
         self.mfc.reset();
         self.u = 0.0;
+        self.in_deadband = false;
     }
 }
 
@@ -189,6 +201,33 @@ mod tests {
         c2.step(0.01);
         let after = c2.nominal_u();
         assert!(after < before && after > 0.0);
+    }
+
+    #[test]
+    fn deadband_transitions_reset_mfc_on_entry_only() {
+        // Drive the loop up, enter the deadband, linger, then leave. The
+        // entry must have reset the MFC exactly once: after re-exit the
+        // trajectory is identical to a fresh controller fed the same
+        // out-of-band errors.
+        let mut c = pdc();
+        for _ in 0..30 {
+            c.step(3.0);
+        }
+        assert!(c.nominal_u() > 0.0);
+        c.step(0.0); // entry: MFC reset happens here
+        assert_eq!(c.error_derivative(), 0.0, "entry must clear the ADE");
+        for _ in 0..5 {
+            c.step(0.01); // linger in-band; u keeps decaying
+        }
+        let mut fresh = pdc();
+        let mut u_resumed = 0.0;
+        let mut u_fresh = 0.0;
+        for _ in 0..10 {
+            u_resumed = c.step(2.0);
+            u_fresh = fresh.step(2.0);
+        }
+        assert_eq!(u_resumed, u_fresh, "post-deadband loop must restart fresh");
+        assert!(u_resumed > 0.0);
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl Scheme {
             Scheme::Edf => SchedulerKind::Edf(Edf::new()),
             Scheme::EdfVd => SchedulerKind::EdfVd(EdfVd::default()),
             Scheme::Apollo => SchedulerKind::Apollo(ApolloStatic::new()),
-            Scheme::HcPerf => SchedulerKind::HcPerf(DynamicPriorityScheduler::new(dps)),
+            Scheme::HcPerf => SchedulerKind::HcPerf(Box::new(DynamicPriorityScheduler::new(dps))),
         }
     }
 }
@@ -91,8 +91,10 @@ pub enum SchedulerKind {
     EdfVd(EdfVd),
     /// Apollo static scheduler.
     Apollo(ApolloStatic),
-    /// HCPerf Dynamic Priority Scheduler.
-    HcPerf(DynamicPriorityScheduler),
+    /// HCPerf Dynamic Priority Scheduler. Boxed: the DPS carries reusable
+    /// γ-search scratch buffers, so inline it would dwarf the stateless
+    /// baseline variants.
+    HcPerf(Box<DynamicPriorityScheduler>),
 }
 
 impl SchedulerKind {

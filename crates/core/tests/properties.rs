@@ -124,6 +124,39 @@ proptest! {
     }
 
     #[test]
+    fn select_respects_restricted_candidate_sets(
+        jobs in proptest::collection::vec((0usize..6, 9.0f64..10.0, 5.0f64..200.0), 2..12),
+        exec in proptest::collection::vec(1.0f64..30.0, 1..6),
+        u in 0.0f64..0.5,
+        mask in 0u32..4096,
+    ) {
+        // Affinity filtering hands schedulers an arbitrary strict subset of
+        // queue indices; the pick must come from that subset, never from the
+        // wider queue.
+        let mut fx = Fixture::random(6, &jobs, &exec, 2);
+        fx.candidates = (0..fx.queue.len())
+            .filter(|&i| mask & (1 << (i % 12)) != 0)
+            .collect();
+        if fx.candidates.is_empty() {
+            fx.candidates.push(fx.queue.len() - 1);
+        }
+        let ctx = fx.ctx();
+        let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());
+        dps.set_nominal_u(u);
+        dps.recompute_gamma(&ctx);
+        for pick in [
+            dps.select(&ctx),
+            Hpf::new().select(&ctx),
+            Edf::new().select(&ctx),
+            EdfVd::default().select(&ctx),
+        ] {
+            let i = pick.expect("non-empty candidates must yield a pick");
+            prop_assert!(fx.candidates.contains(&i),
+                "pick {i} outside candidate set {:?}", fx.candidates);
+        }
+    }
+
+    #[test]
     fn bisection_gamma_max_is_feasible_point_of_critical_sweep(
         jobs in proptest::collection::vec((0usize..5, 9.0f64..10.0, 20.0f64..120.0), 1..8),
         exec in proptest::collection::vec(1.0f64..15.0, 1..5),

@@ -17,6 +17,25 @@
 //!   bounds queue growth under overload.
 //! * Completions of **sink tasks** within their deadlines emit
 //!   [`ControlCommand`]s that a closed-loop harness applies to the vehicle.
+//!
+//! # Observed execution times
+//!
+//! The paper's `c_i` is "the execution time from the last run of the task":
+//! a measurement, only available once a run *finishes*. The engine therefore
+//! updates the per-task observation when the job **completes**, not when it
+//! is dispatched — updating at dispatch would leak the sampled duration of
+//! the in-flight job to the scheduler before any real system could know it
+//! (clairvoyance). While a job runs, schedulers see the previous run's
+//! duration (or the nominal estimate before any run).
+//!
+//! # Dispatch hot path
+//!
+//! [`Sim::try_dispatch`] is called after every event. To keep steady-state
+//! dispatch free of heap allocations it reuses scratch buffers owned by the
+//! engine (candidate indices and per-processor remaining times) and
+//! maintains an affinity-partitioned ready index — per-processor counts of
+//! pinned ready jobs plus a count of unpinned ones — so processors with no
+//! eligible work are skipped without scanning the queue.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -116,6 +135,9 @@ impl std::error::Error for SimError {}
 struct Running {
     job: Job,
     finish: SimTime,
+    /// CPU execution time of this run; becomes the task's observed `c_i`
+    /// when the run completes (never earlier — see the module docs).
+    exec: SimSpan,
 }
 
 /// A point-in-time view of the engine (see [`Sim::snapshot`]).
@@ -161,6 +183,24 @@ pub struct Sim<S> {
     running: Vec<Option<Running>>,
     observed: Vec<SimSpan>,
     rates: Vec<Option<Rate>>,
+    /// Cached `TaskSpec::affinity` per task, avoiding a spec lookup per
+    /// ready job per dispatch attempt.
+    affinity: Vec<Option<usize>>,
+    /// Ready jobs pinned to each processor (affinity-partitioned index;
+    /// jobs pinned to a processor outside `0..processors` are counted
+    /// nowhere — they can never dispatch, matching candidate filtering).
+    ready_pinned: Vec<usize>,
+    /// Ready jobs with no affinity (eligible everywhere).
+    ready_free: usize,
+    /// Scratch: candidate queue indices for the processor being filled.
+    /// Reused across dispatches so steady-state dispatch never allocates.
+    scratch_candidates: Vec<usize>,
+    /// Scratch: remaining processing time per processor (`T_p`), likewise
+    /// reused; patched in place as jobs are placed within one dispatch pass.
+    scratch_remaining: Vec<SimSpan>,
+    /// Next cycle index per task: the number of jobs released so far. The
+    /// invariant holds under both join policies — a just-released job
+    /// carries `cycles[task] - 1`.
     cycles: Vec<u64>,
     last_success: Vec<Option<SimTime>>,
     join_counts: HashMap<(usize, u64), usize>,
@@ -193,6 +233,10 @@ impl<S: Scheduler> Sim<S> {
             .task_ids()
             .map(|id| graph.spec(id).exec_model().nominal(ExecContext::idle()))
             .collect();
+        let affinity: Vec<Option<usize>> = graph
+            .task_ids()
+            .map(|id| graph.spec(id).affinity())
+            .collect();
         let mut rates: Vec<Option<Rate>> = vec![None; n];
         for &s in graph.sources() {
             let rate = graph
@@ -224,6 +268,11 @@ impl<S: Scheduler> Sim<S> {
         let rng = StdRng::seed_from_u64(config.seed);
         Ok(Sim {
             running: vec![None; config.processors],
+            affinity,
+            ready_pinned: vec![0; config.processors],
+            ready_free: 0,
+            scratch_candidates: Vec::new(),
+            scratch_remaining: Vec::with_capacity(config.processors),
             cycles: vec![0; n],
             last_success: vec![None; n],
             join_counts: HashMap::new(),
@@ -411,6 +460,27 @@ impl<S: Scheduler> Sim<S> {
             );
         }
         self.ready.push(job);
+        self.note_ready_added(task);
+    }
+
+    /// Maintains the affinity-partitioned ready index on queue insertion.
+    #[inline]
+    fn note_ready_added(&mut self, task: TaskId) {
+        match self.affinity[task.index()] {
+            None => self.ready_free += 1,
+            Some(p) if p < self.ready_pinned.len() => self.ready_pinned[p] += 1,
+            Some(_) => {}
+        }
+    }
+
+    /// Maintains the affinity-partitioned ready index on queue removal.
+    #[inline]
+    fn note_ready_removed(&mut self, task: TaskId) {
+        match self.affinity[task.index()] {
+            None => self.ready_free -= 1,
+            Some(p) if p < self.ready_pinned.len() => self.ready_pinned[p] -= 1,
+            Some(_) => {}
+        }
     }
 
     fn on_source_release(&mut self, task: TaskId) {
@@ -426,9 +496,12 @@ impl<S: Scheduler> Sim<S> {
                 // Release every source of this pipeline cycle together.
                 let cycle = self.pipeline_cycle;
                 self.pipeline_cycle += 1;
-                let sources: Vec<TaskId> = self.graph.sources().to_vec();
-                for s in sources {
-                    self.cycles[s.index()] = self.pipeline_cycle;
+                for k in 0..self.graph.sources().len() {
+                    let s = self.graph.sources()[k];
+                    // `cycles[t]` is the next cycle index (= releases so
+                    // far), derived from the cycle the jobs actually carry
+                    // rather than the already-incremented global counter.
+                    self.cycles[s.index()] = cycle + 1;
                     self.release_job(s, cycle, self.now);
                 }
                 // The pipeline advances at the *slowest* source rate.
@@ -466,6 +539,12 @@ impl<S: Scheduler> Sim<S> {
         debug_assert_eq!(running.finish, self.now);
         let job = running.job;
         let task = job.task();
+        // The run just finished: its CPU time becomes the task's observed
+        // `c_i` ("the execution time from the last run"). This happens here
+        // and not at dispatch so schedulers never see the duration of a job
+        // that is still executing. The outcome is irrelevant — a late run
+        // was still a measured run.
+        self.observed[task.index()] = running.exec;
         // GPU post-processing: the processor is free, but the output only
         // becomes visible after the accelerator finishes. The delay counts
         // toward the deadline (paper § VI: HCPerf records GPU time and
@@ -530,7 +609,6 @@ impl<S: Scheduler> Sim<S> {
             self.commands.push(cmd);
             return;
         }
-        let successors: Vec<TaskId> = self.graph.isucc(task).to_vec();
         match self.config.join_policy {
             JoinPolicy::LatestValue => {
                 // Trigger successors whose primary (first-listed)
@@ -538,7 +616,8 @@ impl<S: Scheduler> Sim<S> {
                 // predecessor has produced a sufficiently fresh successful
                 // output (latest-value fusion with an optional staleness
                 // bound — a cycle whose inputs are stale is discarded).
-                for succ in successors {
+                for k in 0..self.graph.isucc(task).len() {
+                    let succ = self.graph.isucc(task)[k];
                     if self.graph.trigger_pred(succ) != Some(task) {
                         continue;
                     }
@@ -565,7 +644,8 @@ impl<S: Scheduler> Sim<S> {
                 // in time. A missed predecessor leaves the join incomplete
                 // and the cycle dies (§ II: results are discarded).
                 let cycle = job.cycle();
-                for succ in successors {
+                for k in 0..self.graph.isucc(task).len() {
+                    let succ = self.graph.isucc(task)[k];
                     let key = (succ.index(), cycle);
                     let count = self.join_counts.entry(key).or_insert(0);
                     *count += 1;
@@ -589,7 +669,8 @@ impl<S: Scheduler> Sim<S> {
         };
         let job = self.ready[pos];
         if self.now >= job.absolute_deadline() {
-            self.ready.remove(pos);
+            self.ready.swap_remove(pos);
+            self.note_ready_removed(job.task());
             self.stats
                 .on_outcome(job.task().index(), JobOutcome::Expired);
             self.trace.record(TraceEvent::Expired {
@@ -601,56 +682,66 @@ impl<S: Scheduler> Sim<S> {
     }
 
     fn try_dispatch(&mut self) {
+        if self.ready.is_empty() {
+            return;
+        }
+        // Remaining processing time per processor (`T_p`), computed once per
+        // entry and patched in place as jobs are placed below. The scratch
+        // buffers only ever grow to queue-depth/processor-count capacity, so
+        // steady-state dispatch performs no heap allocation.
+        self.scratch_remaining.clear();
+        for r in &self.running {
+            self.scratch_remaining.push(r.map_or(SimSpan::ZERO, |run| {
+                (run.finish - self.now).clamp_non_negative()
+            }));
+        }
         loop {
             let mut made_progress = false;
             for processor in 0..self.config.processors {
                 if self.running[processor].is_some() || self.ready.is_empty() {
                     continue;
                 }
-                let candidates: Vec<usize> = self
-                    .ready
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, j)| {
-                        self.graph
-                            .spec(j.task())
-                            .affinity()
-                            .is_none_or(|a| a == processor)
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
-                if candidates.is_empty() {
+                // Affinity-partitioned ready index: nothing unpinned and
+                // nothing pinned here means no candidates — skip without
+                // scanning the queue.
+                if self.ready_free == 0 && self.ready_pinned[processor] == 0 {
                     continue;
                 }
-                let processor_remaining: Vec<SimSpan> = self
-                    .running
-                    .iter()
-                    .map(|r| {
-                        r.map_or(SimSpan::ZERO, |run| {
-                            (run.finish - self.now).clamp_non_negative()
-                        })
-                    })
-                    .collect();
+                self.scratch_candidates.clear();
+                for (i, j) in self.ready.iter().enumerate() {
+                    match self.affinity[j.task().index()] {
+                        None => self.scratch_candidates.push(i),
+                        Some(a) if a == processor => self.scratch_candidates.push(i),
+                        Some(_) => {}
+                    }
+                }
+                debug_assert!(
+                    !self.scratch_candidates.is_empty(),
+                    "ready index promised a candidate for processor {processor}"
+                );
                 let ctx = SchedContext {
                     now: self.now,
                     graph: &self.graph,
                     queue: &self.ready,
-                    candidates: &candidates,
+                    candidates: &self.scratch_candidates,
                     processor,
                     observed_exec: &self.observed,
-                    processor_remaining: &processor_remaining,
+                    processor_remaining: &self.scratch_remaining,
                 };
                 let Some(chosen) = self.scheduler.select(&ctx) else {
                     continue;
                 };
+                // Candidates are built in ascending queue order.
                 assert!(
-                    candidates.contains(&chosen),
+                    self.scratch_candidates.binary_search(&chosen).is_ok(),
                     "scheduler {} selected index {chosen} outside the candidate set",
                     self.scheduler.name()
                 );
-                let job = self.ready.remove(chosen);
+                // `swap_remove` is safe: every scheduler selects by a total
+                // order on job attributes, never by queue position.
+                let job = self.ready.swap_remove(chosen);
+                self.note_ready_removed(job.task());
                 let exec = self.sample_exec(job.task());
-                self.observed[job.task().index()] = exec;
                 let finish = self.now + exec;
                 self.stats.on_dispatch(job.task().index(), processor, exec);
                 self.trace.record(TraceEvent::Dispatched {
@@ -659,7 +750,8 @@ impl<S: Scheduler> Sim<S> {
                     task: job.task(),
                     processor,
                 });
-                self.running[processor] = Some(Running { job, finish });
+                self.running[processor] = Some(Running { job, finish, exec });
+                self.scratch_remaining[processor] = exec;
                 self.events
                     .push(finish, EventKind::JobCompleted { processor });
                 made_progress = true;
@@ -1288,6 +1380,157 @@ mod tests {
         let totals = s.stats().totals();
         assert_eq!(totals.missed_late + totals.expired, 0, "{totals:?}");
         assert!(totals.met >= 18);
+    }
+
+    #[test]
+    fn observed_exec_is_unchanged_while_a_job_is_running() {
+        // One source with a genuinely variable execution time: the sampled
+        // duration of the in-flight job must stay invisible until the run
+        // completes (no clairvoyant c_i).
+        let mut b = TaskGraph::builder();
+        b.add_task(
+            TaskSpec::builder("src")
+                .stage(Stage::Sensing)
+                .exec_model(ExecModel::uniform(
+                    SimSpan::from_millis(10.0),
+                    SimSpan::from_millis(20.0),
+                ))
+                .relative_deadline(SimSpan::from_millis(50.0))
+                .rate_range(RateRange::from_hz(10.0, 10.0))
+                .build()
+                .unwrap(),
+        );
+        let g = b.build().unwrap();
+        let src = g.find("src").unwrap();
+        let nominal_ms = 15.0; // uniform nominal = midpoint
+        let mut s = Sim::new(
+            g,
+            SimConfig {
+                processors: 1,
+                trace_capacity: 1_000,
+                ..Default::default()
+            },
+            FifoScheduler::new(),
+        )
+        .unwrap();
+        // t = 5 ms: the first job (exec ≥ 10 ms) was dispatched at t = 0 and
+        // is still running; the observation must still be the nominal.
+        s.run_until(SimTime::from_millis(5.0));
+        assert_eq!(s.snapshot().running_jobs, 1);
+        assert!((s.observed_exec(src).as_millis() - nominal_ms).abs() < 1e-9);
+        // t = 30 ms: the job completed; the observation now equals the
+        // measured duration dispatch → completion from the trace.
+        s.run_until(SimTime::from_millis(30.0));
+        let dispatched = s
+            .trace()
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Dispatched { time, .. } => Some(*time),
+                _ => None,
+            })
+            .expect("job dispatched");
+        let completed = s
+            .trace()
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Completed { time, .. } => Some(*time),
+                _ => None,
+            })
+            .expect("job completed");
+        let measured = completed - dispatched;
+        assert!((s.observed_exec(src).as_secs() - measured.as_secs()).abs() < 1e-12);
+        assert!((10.0..=20.0).contains(&measured.as_millis()));
+    }
+
+    #[test]
+    fn cycle_bookkeeping_matches_released_jobs_under_both_policies() {
+        // Invariant: `cycles[t]` is the number of jobs released for `t`,
+        // i.e. one past the cycle carried by the latest release.
+        let collect = |s: &Sim<FifoScheduler>, task: TaskId| -> Vec<u64> {
+            s.trace()
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Released { task: t, cycle, .. } if *t == task => Some(*cycle),
+                    _ => None,
+                })
+                .collect()
+        };
+
+        // LatestValue: per-source counters.
+        let mut s = sim(chain_graph(1.0, 1.0, 1.0, 50.0));
+        s.run_until(SimTime::from_secs(0.55));
+        let src = s.graph().find("src").unwrap();
+        let seen = collect(&s, src);
+        assert_eq!(seen, (0..seen.len() as u64).collect::<Vec<_>>());
+        assert_eq!(s.cycles[src.index()], seen.len() as u64);
+
+        // SameCycle: one global counter stamps every source identically.
+        let g = join_graph(2.0, 50.0);
+        let mut s = Sim::new(
+            g,
+            SimConfig {
+                processors: 2,
+                join_policy: JoinPolicy::SameCycle,
+                trace_capacity: 10_000,
+                ..Default::default()
+            },
+            FifoScheduler::new(),
+        )
+        .unwrap();
+        s.run_until(SimTime::from_secs(0.55));
+        for name in ["src_a", "src_b"] {
+            let t = s.graph().find(name).unwrap();
+            let seen = collect(&s, t);
+            assert!(!seen.is_empty());
+            assert_eq!(seen, (0..seen.len() as u64).collect::<Vec<_>>());
+            assert_eq!(s.cycles[t.index()], seen.len() as u64, "{name}");
+            assert_eq!(s.cycles[t.index()], s.pipeline_cycle, "{name}");
+        }
+    }
+
+    #[test]
+    fn ready_index_survives_expiry_and_affinity_churn() {
+        // Overloaded single-processor run with an affinity-pinned task and
+        // queued-job expiry: the affinity-partitioned ready index must stay
+        // consistent with the queue through swap_remove-based removal.
+        let mut b = TaskGraph::builder();
+        b.add_task(
+            TaskSpec::builder("pinned")
+                .stage(Stage::Sensing)
+                .exec_model(ExecModel::constant(SimSpan::from_millis(40.0)))
+                .relative_deadline(SimSpan::from_millis(60.0))
+                .rate_range(RateRange::from_hz(20.0, 20.0))
+                .affinity(0)
+                .build()
+                .unwrap(),
+        );
+        b.add_task(
+            TaskSpec::builder("floating")
+                .stage(Stage::Sensing)
+                .exec_model(ExecModel::constant(SimSpan::from_millis(30.0)))
+                .relative_deadline(SimSpan::from_millis(60.0))
+                .rate_range(RateRange::from_hz(20.0, 20.0))
+                .build()
+                .unwrap(),
+        );
+        let mut s = Sim::new(
+            b.build().unwrap(),
+            SimConfig {
+                processors: 1,
+                ..Default::default()
+            },
+            FifoScheduler::new(),
+        )
+        .unwrap();
+        s.run_until(SimTime::from_secs(2.0));
+        let pinned_count = s.ready_pinned[0];
+        let free_count = s.ready_free;
+        assert_eq!(pinned_count + free_count, s.ready.len());
+        assert!(s.stats().totals().expired > 0, "{:?}", s.stats().totals());
+        assert!(s.stats().totals().met > 0, "{:?}", s.stats().totals());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Runs every experiment in paper order and prints one combined report.
 use hcperf_bench::experiments as ex;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", ex::fig04_motivation()?);
+    let jobs = hcperf_bench::jobs_from_cli();
+    print!("{}", ex::fig04_motivation(jobs)?);
     print!("{}", ex::fig05_schedules());
     print!("{}", ex::fig12_exec_times()?);
-    print!("{}", ex::fig13_car_following()?);
-    print!("{}", ex::fig14_lane_keeping()?);
-    print!("{}", ex::fig15_hardware()?);
+    print!("{}", ex::fig13_car_following(jobs)?);
+    print!("{}", ex::fig14_lane_keeping(jobs)?);
+    print!("{}", ex::fig15_hardware(jobs)?);
     print!("{}", ex::fig17_responsiveness()?);
-    print!("{}", ex::fig18_ablation()?);
+    print!("{}", ex::fig18_ablation(jobs)?);
     Ok(())
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 4 — the § II motivation study.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", hcperf_bench::experiments::fig04_motivation()?);
+    print!(
+        "{}",
+        hcperf_bench::experiments::fig04_motivation(hcperf_bench::jobs_from_cli())?
+    );
     Ok(())
 }

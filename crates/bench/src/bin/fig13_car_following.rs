@@ -1,5 +1,8 @@
 //! Regenerates Fig. 13 and Tables II/III — simulation car following.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", hcperf_bench::experiments::fig13_car_following()?);
+    print!(
+        "{}",
+        hcperf_bench::experiments::fig13_car_following(hcperf_bench::jobs_from_cli())?
+    );
     Ok(())
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 14 and Table IV — lane keeping.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", hcperf_bench::experiments::fig14_lane_keeping()?);
+    print!(
+        "{}",
+        hcperf_bench::experiments::fig14_lane_keeping(hcperf_bench::jobs_from_cli())?
+    );
     Ok(())
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 15 and Tables V/VI — hardware car following.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", hcperf_bench::experiments::fig15_hardware()?);
+    print!(
+        "{}",
+        hcperf_bench::experiments::fig15_hardware(hcperf_bench::jobs_from_cli())?
+    );
     Ok(())
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 18 — the external-coordinator ablation.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", hcperf_bench::experiments::fig18_ablation()?);
+    print!(
+        "{}",
+        hcperf_bench::experiments::fig18_ablation(hcperf_bench::jobs_from_cli())?
+    );
     Ok(())
 }

@@ -4,11 +4,20 @@
 //! report comparing measured values against the paper's (where the paper
 //! reports numbers). Time-series CSVs are written to
 //! `target/experiments/` for plotting.
+//!
+//! Figures whose cells are independent simulations (`fig04`, `fig13`,
+//! `fig14`, `fig15`, `fig18`) take a `jobs` argument and fan their
+//! cells out through the [`hcperf_harness`] worker pool; `jobs = 0`
+//! uses the host's available parallelism. Reports and CSVs are
+//! bit-identical to the old sequential loops for any worker count:
+//! every cell keeps its sequential seed and results are collected in
+//! submission order before anything is written.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use hcperf::Scheme;
+use hcperf_harness::{run_batch, BatchOptions, Job};
 use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
 use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
 use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
@@ -38,24 +47,53 @@ fn dump(name: &str, content: &str) {
     }
 }
 
+/// Fans a set of independent figure cells out through the harness and
+/// collects their payloads in submission order. A panicked cell comes
+/// back as [`ScenarioError::Job`] instead of aborting the process.
+fn fan_out<I, O>(
+    jobs: &[Job<I>],
+    workers: usize,
+    run: impl Fn(&I) -> Result<O, ScenarioError> + Sync,
+) -> Result<Vec<O>, ScenarioError>
+where
+    I: Sync,
+    O: Send,
+{
+    let results = run_batch(jobs, BatchOptions::with_workers(workers), |input, _| {
+        run(input)
+    })
+    .map_err(|e| ScenarioError::Job(e.to_string()))?;
+    results
+        .into_iter()
+        .map(|r| r.into_ok().map_err(ScenarioError::Job)?)
+        .collect()
+}
+
 /// Fig. 4 — the § II motivation study under fixed-priority scheduling, and
-/// the same scenario under HCPerf for contrast.
+/// the same scenario under HCPerf for contrast. The two scheme cells run
+/// through the harness pool (`jobs = 0` = host parallelism).
 ///
 /// # Errors
 ///
 /// Propagates [`ScenarioError`] from the scenario runs.
-pub fn fig04_motivation() -> Result<String, ScenarioError> {
+pub fn fig04_motivation(jobs: usize) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "## Fig. 4 — motivation: fixed priority under a red-light scene\n"
     );
-    for scheme in [Scheme::Apollo, Scheme::HcPerf] {
-        let config = MotivationConfig {
+    let schemes = [Scheme::Apollo, Scheme::HcPerf];
+    let cells: Vec<Job<Scheme>> = schemes
+        .iter()
+        .map(|&scheme| Job::new(format!("fig04/scheme={scheme}"), scheme))
+        .collect();
+    let runs = fan_out(&cells, jobs, |&scheme| {
+        run_motivation(&MotivationConfig {
             scheme,
             ..Default::default()
-        };
-        let r = run_motivation(&config)?;
+        })
+    })?;
+    for (scheme, r) in schemes.into_iter().zip(runs) {
         let _ = writeln!(
             out,
             "**{scheme}**: miss ratio before braking event {:.1}%, after {:.1}%; collision: {}",
@@ -168,11 +206,13 @@ pub fn fig12_exec_times() -> Result<String, hcperf_taskgraph::GraphError> {
 }
 
 /// Fig. 13 + Tables II/III — simulation car following across all schemes.
+/// The five scheme cells run through the harness pool (`jobs = 0` = host
+/// parallelism).
 ///
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig13_car_following() -> Result<String, ScenarioError> {
+pub fn fig13_car_following(jobs: usize) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -180,9 +220,14 @@ pub fn fig13_car_following() -> Result<String, ScenarioError> {
     );
     let mut speed_rows = Vec::new();
     let mut dist_rows = Vec::new();
-    for scheme in Scheme::all() {
-        let config = CarFollowingConfig::paper_simulation(scheme);
-        let r = run_car_following(&config)?;
+    let cells: Vec<Job<Scheme>> = Scheme::all()
+        .into_iter()
+        .map(|scheme| Job::new(format!("fig13/scheme={scheme}"), scheme))
+        .collect();
+    let runs = fan_out(&cells, jobs, |&scheme| {
+        run_car_following(&CarFollowingConfig::paper_simulation(scheme))
+    })?;
+    for (scheme, r) in Scheme::all().into_iter().zip(runs) {
         speed_rows.push((scheme.to_string(), r.rms_speed_error));
         dist_rows.push((scheme.to_string(), r.rms_distance_error));
         let _ = writeln!(
@@ -236,18 +281,24 @@ pub fn fig13_car_following() -> Result<String, ScenarioError> {
     Ok(out)
 }
 
-/// Fig. 14 + Table IV — lane keeping on the oval loop.
+/// Fig. 14 + Table IV — lane keeping on the oval loop. The five scheme
+/// cells run through the harness pool (`jobs = 0` = host parallelism).
 ///
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig14_lane_keeping() -> Result<String, ScenarioError> {
+pub fn fig14_lane_keeping(jobs: usize) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 14 + Table IV — lane keeping\n");
     let mut rows = Vec::new();
-    for scheme in Scheme::all() {
-        let config = LaneKeepingConfig::paper_loop(scheme);
-        let r = run_lane_keeping(&config)?;
+    let cells: Vec<Job<Scheme>> = Scheme::all()
+        .into_iter()
+        .map(|scheme| Job::new(format!("fig14/scheme={scheme}"), scheme))
+        .collect();
+    let runs = fan_out(&cells, jobs, |&scheme| {
+        run_lane_keeping(&LaneKeepingConfig::paper_loop(scheme))
+    })?;
+    for (scheme, r) in Scheme::all().into_iter().zip(runs) {
         rows.push((scheme.to_string(), r.rms_lateral_offset));
         let _ = writeln!(
             out,
@@ -275,29 +326,44 @@ pub fn fig14_lane_keeping() -> Result<String, ScenarioError> {
 }
 
 /// Fig. 15 + Tables V/VI — hardware-testbed car following (averaged over
-/// three seeds, since the scaled cars are noisy).
+/// three seeds, since the scaled cars are noisy). All fifteen
+/// `(scheme, seed)` cells run through the harness pool (`jobs = 0` =
+/// host parallelism); the largest fan-out in the figure pipeline.
 ///
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig15_hardware() -> Result<String, ScenarioError> {
+pub fn fig15_hardware(jobs: usize) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 15 + Tables V/VI — hardware car following\n");
     let mut speed_rows = Vec::new();
     let mut dist_rows = Vec::new();
     let seeds = [42u64, 7, 1234];
-    for scheme in Scheme::all() {
+    let cells: Vec<Job<(Scheme, u64)>> = Scheme::all()
+        .into_iter()
+        .flat_map(|scheme| seeds.iter().map(move |&seed| (scheme, seed)))
+        .map(|(scheme, seed)| {
+            Job::with_seed(
+                format!("fig15/scheme={scheme}/seed={seed}"),
+                (scheme, seed),
+                seed,
+            )
+        })
+        .collect();
+    let runs = fan_out(&cells, jobs, |&(scheme, seed)| {
+        let mut config = CarFollowingConfig::hardware(scheme);
+        config.seed = seed;
+        run_car_following(&config)
+    })?;
+    for (per_seed, scheme) in runs.chunks(seeds.len()).zip(Scheme::all()) {
         let mut v = 0.0;
         let mut d = 0.0;
         let mut miss = 0.0;
-        for &seed in &seeds {
-            let mut config = CarFollowingConfig::hardware(scheme);
-            config.seed = seed;
-            let r = run_car_following(&config)?;
+        for (i, r) in per_seed.iter().enumerate() {
             v += r.rms_speed_error;
             d += r.rms_distance_error;
             miss += r.final_miss_ratio;
-            if seed == seeds[0] {
+            if i == 0 {
                 dump(
                     &format!("fig15_{scheme}_series.csv"),
                     &series_to_csv(&[
@@ -431,19 +497,28 @@ pub fn fig17_responsiveness() -> Result<String, ScenarioError> {
     Ok(out)
 }
 
-/// Fig. 18 — ablation: full HCPerf vs internal coordinator only.
+/// Fig. 18 — ablation: full HCPerf vs internal coordinator only. The two
+/// ablation cells run through the harness pool (`jobs = 0` = host
+/// parallelism).
 ///
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig18_ablation() -> Result<String, ScenarioError> {
+pub fn fig18_ablation(jobs: usize) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 18 — ablation: external coordinator\n");
     let mut rows = Vec::new();
-    for (label, external) in [("full HCPerf", true), ("internal only", false)] {
+    let variants = [("full HCPerf", true), ("internal only", false)];
+    let cells: Vec<Job<bool>> = variants
+        .iter()
+        .map(|&(label, external)| Job::new(format!("fig18/{label}"), external))
+        .collect();
+    let runs = fan_out(&cells, jobs, |&external| {
         let mut config = CarFollowingConfig::paper_simulation(Scheme::HcPerf);
         config.coordinator.external_enabled = external;
-        let r = run_car_following(&config)?;
+        run_car_following(&config)
+    })?;
+    for ((label, external), r) in variants.into_iter().zip(runs) {
         let _ = writeln!(
             out,
             "* **{label}**: RMS speed error {:.3} m/s, RMS distance error {:.3} m, \

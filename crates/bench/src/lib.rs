@@ -14,6 +14,7 @@
 //! | `fig17_responsiveness` | Fig. 16/17 — responsiveness vs throughput |
 //! | `fig18_ablation` | Fig. 18 — external-coordinator ablation |
 //! | `all_experiments` | everything above, in order |
+//! | `bench_harness` | worker-pool wall-clock + bit-identity check → `BENCH_harness.json` |
 //!
 //! Criterion benches (`cargo bench -p hcperf-bench`) cover the § VII-E
 //! overhead analysis plus the γ-search, scheduler-decision, ADE-window and
@@ -27,3 +28,23 @@
 pub mod experiments;
 pub mod fig05;
 pub mod paper;
+
+/// Worker-pool size for the experiment binaries: `--jobs N` on the
+/// command line, else the `HCPERF_JOBS` environment variable, else `0`
+/// (the harness then uses the host's available parallelism). Results
+/// are bit-identical for any value; only wall-clock time changes.
+#[must_use]
+pub fn jobs_from_cli() -> usize {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--jobs" {
+            if let Some(n) = argv.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    std::env::var("HCPERF_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}

@@ -10,7 +10,7 @@ use hcperf_rtsim::{gantt, trace_json, JoinPolicy, Sim, SimConfig};
 use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
 use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
 use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
-use hcperf_scenarios::sweep::{knee, rate_sweep, SweepConfig};
+use hcperf_scenarios::sweep::{knee, rate_sweep_parallel, SweepConfig};
 use hcperf_taskgraph::graphs::{apollo_graph, motivation_graph, GraphOptions};
 use hcperf_taskgraph::{ExecContext, Rate, SimTime};
 
@@ -78,6 +78,10 @@ COMMANDS
                 --scheme, --seed as above
                 --from, --to, --step   Hz                  (10, 50, 5)
                 --duration  seconds per point              (5)
+                --jobs      worker threads; each probed rate is an
+                            independent simulation, results are
+                            bit-identical for any value
+                                                           (available parallelism)
   analyze     Offline schedulability of the Fig. 11 graph
                 --rate      Hz                             (20)
                 --processors                               (4)
@@ -173,6 +177,8 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     let step = args.get_f64("step", 5.0)?;
     let duration = args.get_f64("duration", 5.0)?;
     let seed = args.get_u64("seed", 42)?;
+    // 0 = the host's available parallelism (the harness default).
+    let jobs = args.get_usize("jobs", 0)?;
     if !(from > 0.0 && to >= from && step > 0.0) {
         return Err(CliError::Args(ParseError(
             "sweep needs 0 < --from <= --to and --step > 0".into(),
@@ -184,13 +190,16 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         rates.push(hz);
         hz += step;
     }
-    let points = rate_sweep(&SweepConfig {
-        scheme,
-        rates_hz: rates,
-        duration,
-        seed,
-        ..Default::default()
-    })?;
+    let points = rate_sweep_parallel(
+        &SweepConfig {
+            scheme,
+            rates_hz: rates,
+            duration,
+            seed,
+            ..Default::default()
+        },
+        jobs,
+    )?;
     let mut out = format!("rate sweep under {scheme}:\n");
     let _ = writeln!(
         out,
@@ -198,13 +207,17 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         "rate", "miss", "commands/s", "e2e(ms)"
     );
     for p in &points {
+        // "-" = no command was emitted at that rate, which is not the
+        // same thing as a zero-latency pipeline.
+        let e2e = p
+            .mean_e2e_ms
+            .map_or_else(|| format!("{:>10}", "-"), |ms| format!("{ms:10.1}"));
         let _ = writeln!(
             out,
-            "{:5.0}Hz {:8.2}% {:12.1} {:10.1}",
+            "{:5.0}Hz {:8.2}% {:12.1} {e2e}",
             p.rate_hz,
             p.miss_ratio * 100.0,
             p.commands_per_sec,
-            p.mean_e2e_ms
         );
     }
     match knee(&points, 0.02) {
@@ -453,5 +466,27 @@ mod tests {
         assert!(out.contains("rate sweep"));
         assert!(out.contains("10Hz"));
         assert!(out.contains("20Hz"));
+    }
+
+    #[test]
+    fn sweep_output_does_not_depend_on_jobs() {
+        let argv = |jobs: &'static str| {
+            vec![
+                "sweep",
+                "--from",
+                "10",
+                "--to",
+                "30",
+                "--step",
+                "20",
+                "--duration",
+                "2",
+                "--jobs",
+                jobs,
+            ]
+        };
+        let one = run(&argv("1")).unwrap();
+        assert_eq!(run(&argv("2")).unwrap(), one);
+        assert!(run(&["sweep", "--jobs", "x"]).is_err());
     }
 }

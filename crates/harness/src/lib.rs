@@ -1,0 +1,47 @@
+//! `hcperf-harness` — deterministic parallel experiment execution.
+//!
+//! Every evaluation surface in this workspace fans out over independent
+//! `(scheme, seed, rate)` simulation cells. This crate runs such
+//! batches on a fixed-size pool of `std::thread` workers while keeping
+//! the one property the evaluation depends on: **results are
+//! bit-identical for any worker count**.
+//!
+//! The pieces:
+//!
+//! * [`Job`]/[`JobResult`] — a typed job model keyed by *stable* string
+//!   keys (`"fig13/scheme=edf"`), reported in submission order;
+//! * [`seed::derive_seed`] — SplitMix64 over `root_seed ^ fnv1a(key)`,
+//!   so a job's randomness follows its identity, not its scheduling;
+//! * [`run_batch`] — the pool: shared atomic work cursor, mpsc result
+//!   collection, per-job `catch_unwind` panic isolation (a crashed
+//!   simulation becomes a [`JobStatus::Panicked`] record instead of
+//!   killing the batch);
+//! * [`JsonlSink`]/[`RecordSink`] — streaming JSON-Lines output fed in
+//!   submission order, plus a [`Progress`] callback fed in completion
+//!   order.
+//!
+//! The crate is std-only by design (see the workspace's vendored-only
+//! dependency policy): payload serialization is delegated to callers.
+//!
+//! # Examples
+//!
+//! ```
+//! use hcperf_harness::{run_batch_with, Job};
+//!
+//! let jobs: Vec<Job<u64>> = (0..16).map(|i| Job::new(format!("cell/{i}"), i)).collect();
+//! let results = run_batch_with(&jobs, 4, |&input, seed| input.wrapping_mul(seed)).unwrap();
+//! assert_eq!(results.len(), 16);
+//! assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod job;
+pub mod pool;
+pub mod seed;
+pub mod sink;
+
+pub use job::{Job, JobResult, JobStatus, Progress};
+pub use pool::{available_workers, run_batch, run_batch_with, BatchError, BatchOptions};
+pub use sink::{json_escape, JsonlSink, RecordSink};

@@ -1,0 +1,263 @@
+//! The fixed-size worker pool and batch executor.
+//!
+//! Workers are scoped `std::thread`s pulling job indices from a shared
+//! atomic cursor and sending [`JobResult`]s back over an mpsc channel;
+//! the submitting thread collects, reorders and streams them. Nothing a
+//! job computes may depend on which worker ran it or when it finished —
+//! seeds come from [`crate::seed::derive_seed`] (or an explicit pin)
+//! and results are reported in submission order, which is what makes a
+//! batch bit-identical for any worker count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use crate::job::{Job, JobResult, JobStatus, Progress};
+use crate::seed::derive_seed;
+use crate::sink::RecordSink;
+
+/// Batch-level validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// Two jobs share a key; keys feed seed derivation and result
+    /// labelling, so they must be unique within a batch.
+    DuplicateKey(String),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::DuplicateKey(k) => write!(f, "duplicate job key {k:?} in batch"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Worker threads the host can usefully run (`available_parallelism`,
+/// falling back to 1 when the platform cannot say).
+#[must_use]
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Execution options for one batch.
+///
+/// `progress` fires after each completion (in completion order — it
+/// reports counts, not data); `sink` receives every result in
+/// submission order, buffered as needed.
+pub struct BatchOptions<'a, O> {
+    /// Worker threads; `0` means [`available_workers`]. Capped at the
+    /// job count.
+    pub workers: usize,
+    /// Root seed that [`crate::seed::derive_seed`] folds each job key
+    /// into.
+    pub root_seed: u64,
+    /// Per-completion progress callback.
+    pub progress: Option<&'a mut dyn FnMut(Progress)>,
+    /// Ordered streaming result sink.
+    pub sink: Option<&'a mut dyn RecordSink<O>>,
+}
+
+impl<O> std::fmt::Debug for BatchOptions<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchOptions")
+            .field("workers", &self.workers)
+            .field("root_seed", &self.root_seed)
+            .field("progress", &self.progress.is_some())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<O> Default for BatchOptions<'_, O> {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 0,
+            root_seed: 0x4843_5045_5246, // "HCPERF"
+            progress: None,
+            sink: None,
+        }
+    }
+}
+
+impl<'a, O> BatchOptions<'a, O> {
+    /// Options with an explicit worker count (`0` = auto).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        BatchOptions {
+            workers,
+            ..BatchOptions::default()
+        }
+    }
+
+    /// Sets the root seed.
+    #[must_use]
+    pub fn root_seed(mut self, root_seed: u64) -> Self {
+        self.root_seed = root_seed;
+        self
+    }
+
+    /// Attaches a progress callback.
+    #[must_use]
+    pub fn on_progress(mut self, progress: &'a mut dyn FnMut(Progress)) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Attaches an ordered streaming sink.
+    #[must_use]
+    pub fn stream_to(mut self, sink: &'a mut dyn RecordSink<O>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs every job in `jobs` through `run` on a fixed pool of workers
+/// and returns the results in submission order.
+///
+/// `run` receives the job's input and its seed. A panicking job becomes
+/// a [`JobStatus::Panicked`] record — its worker and all sibling jobs
+/// carry on, and the pool still shuts down cleanly.
+///
+/// Determinism contract: the returned vector (and everything streamed
+/// to the sink) is bit-identical for any `workers` value, provided
+/// `run` itself is a pure function of `(input, seed)`.
+///
+/// # Errors
+///
+/// Returns [`BatchError::DuplicateKey`] before running anything if two
+/// jobs share a key.
+///
+/// # Panics
+///
+/// Panics if a worker thread's result channel disconnects early, which
+/// only a bug in the pool itself can cause.
+pub fn run_batch<I, O, F>(
+    jobs: &[Job<I>],
+    mut opts: BatchOptions<'_, O>,
+    run: F,
+) -> Result<Vec<JobResult<O>>, BatchError>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I, u64) -> O + Sync,
+{
+    let total = jobs.len();
+    {
+        let mut seen = std::collections::HashSet::with_capacity(total);
+        for job in jobs {
+            if !seen.insert(job.key.as_str()) {
+                return Err(BatchError::DuplicateKey(job.key.clone()));
+            }
+        }
+    }
+    let workers = if opts.workers == 0 {
+        available_workers()
+    } else {
+        opts.workers
+    }
+    .min(total)
+    .max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<JobResult<O>>();
+    let mut slots: Vec<Option<JobResult<O>>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let run = &run;
+            let root_seed = opts.root_seed;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                let seed = job.seed.unwrap_or_else(|| derive_seed(root_seed, &job.key));
+                let start = Instant::now();
+                let status = match catch_unwind(AssertUnwindSafe(|| run(&job.input, seed))) {
+                    Ok(output) => JobStatus::Ok(output),
+                    Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
+                };
+                let result = JobResult {
+                    index,
+                    key: job.key.clone(),
+                    seed,
+                    wall: start.elapsed(),
+                    status,
+                };
+                if tx.send(result).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Collect on the submitting thread: fire progress in completion
+        // order, stream to the sink in submission order.
+        let mut completed = 0;
+        let mut next_to_stream = 0;
+        for result in rx {
+            completed += 1;
+            if let Some(progress) = opts.progress.as_deref_mut() {
+                progress(Progress {
+                    completed,
+                    total,
+                    index: result.index,
+                });
+            }
+            let index = result.index;
+            assert!(slots[index].is_none(), "job {index} reported twice");
+            slots[index] = Some(result);
+            if let Some(sink) = opts.sink.as_deref_mut() {
+                while let Some(Some(ready)) = slots.get(next_to_stream) {
+                    sink.record(ready);
+                    next_to_stream += 1;
+                }
+            }
+        }
+        assert_eq!(
+            completed,
+            total,
+            "worker pool lost {} jobs",
+            total - completed
+        );
+    });
+
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("all collected"))
+        .collect())
+}
+
+/// [`run_batch`] with default options and an explicit worker count —
+/// the common case for callers that just want the parallelism.
+///
+/// # Errors
+///
+/// Returns [`BatchError::DuplicateKey`] if two jobs share a key.
+pub fn run_batch_with<I, O, F>(
+    jobs: &[Job<I>],
+    workers: usize,
+    run: F,
+) -> Result<Vec<JobResult<O>>, BatchError>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I, u64) -> O + Sync,
+{
+    run_batch(jobs, BatchOptions::with_workers(workers), run)
+}

@@ -1,0 +1,157 @@
+//! Pool-level integration tests: determinism across worker counts,
+//! panic isolation, ordered streaming, progress accounting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hcperf_harness::seed::{derive_seed, splitmix64};
+use hcperf_harness::{
+    run_batch, run_batch_with, BatchError, BatchOptions, Job, JobStatus, JsonlSink, Progress,
+};
+
+/// A deterministic, seed-driven stand-in for a simulation: a short
+/// SplitMix64 walk whose length comes from the input.
+fn fake_sim(input: &u64, seed: u64) -> u64 {
+    let mut state = seed;
+    let mut acc = 0u64;
+    for _ in 0..(input % 7 + 1) {
+        acc = acc.wrapping_add(splitmix64(&mut state));
+    }
+    acc
+}
+
+fn batch(n: u64) -> Vec<Job<u64>> {
+    (0..n).map(|i| Job::new(format!("cell/{i}"), i)).collect()
+}
+
+#[test]
+fn results_are_bit_identical_for_any_worker_count() {
+    let jobs = batch(33);
+    let reference = run_batch_with(&jobs, 1, fake_sim).unwrap();
+    for workers in [2, 3, 8, 16] {
+        let got = run_batch_with(&jobs, workers, fake_sim).unwrap();
+        assert_eq!(got.len(), reference.len());
+        for (r, g) in reference.iter().zip(&got) {
+            assert_eq!((r.index, &r.key, r.seed), (g.index, &g.key, g.seed));
+            assert_eq!(r.status, g.status, "workers={workers} key={}", r.key);
+        }
+    }
+}
+
+#[test]
+fn seeds_come_from_root_and_key_not_from_scheduling() {
+    let jobs = batch(9);
+    let opts = || BatchOptions::<u64>::with_workers(4).root_seed(99);
+    let results = run_batch(&jobs, opts(), fake_sim).unwrap();
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert_eq!(r.seed, derive_seed(99, &format!("cell/{i}")));
+    }
+    // A different root seed shifts every derived seed.
+    let other = run_batch(&jobs, BatchOptions::with_workers(4), fake_sim).unwrap();
+    assert!(results.iter().zip(&other).all(|(a, b)| a.seed != b.seed));
+}
+
+#[test]
+fn explicit_seeds_override_derivation() {
+    let jobs = vec![
+        Job::with_seed("a", 1u64, 7),
+        Job::with_seed("b", 2u64, 7),
+        Job::new("c", 3u64),
+    ];
+    let results = run_batch_with(&jobs, 2, fake_sim).unwrap();
+    assert_eq!(results[0].seed, 7);
+    assert_eq!(results[1].seed, 7);
+    assert_ne!(results[2].seed, 7);
+}
+
+#[test]
+fn panicking_job_yields_failure_record_and_siblings_complete() {
+    // Silence the default panic hook for the intentional panic below.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let jobs = batch(12);
+    let results = run_batch_with(&jobs, 3, |&input, seed| {
+        assert!(input != 5, "job five exploded");
+        fake_sim(&input, seed)
+    })
+    .unwrap();
+    std::panic::set_hook(prev);
+
+    assert_eq!(results.len(), 12);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.index, i);
+        if i == 5 {
+            match &r.status {
+                JobStatus::Panicked(msg) => assert!(msg.contains("job five exploded"), "{msg}"),
+                JobStatus::Ok(_) => panic!("job 5 must be a failure record"),
+            }
+            assert!(r.clone().into_ok().unwrap_err().contains("cell/5"));
+        } else {
+            assert!(r.status.is_ok(), "sibling {i} must complete");
+        }
+    }
+}
+
+#[test]
+fn duplicate_keys_are_rejected_up_front() {
+    let jobs = vec![Job::new("same", 1u64), Job::new("same", 2u64)];
+    let err = run_batch_with(&jobs, 2, fake_sim).unwrap_err();
+    assert_eq!(err, BatchError::DuplicateKey("same".into()));
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let jobs: Vec<Job<u64>> = Vec::new();
+    assert!(run_batch_with(&jobs, 4, fake_sim).unwrap().is_empty());
+}
+
+#[test]
+fn sink_receives_submission_order_and_identical_bytes_for_any_worker_count() {
+    let jobs = batch(17);
+    let stream = |workers: usize| {
+        let mut sink = JsonlSink::new(Vec::new(), |o: &u64| o.to_string()).timing(false);
+        {
+            let opts = BatchOptions::with_workers(workers).stream_to(&mut sink);
+            run_batch(&jobs, opts, fake_sim).unwrap();
+        }
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    };
+    let reference = stream(1);
+    assert_eq!(reference.lines().count(), 17);
+    for (i, line) in reference.lines().enumerate() {
+        assert!(line.starts_with(&format!("{{\"index\":{i},")), "{line}");
+    }
+    for workers in [2, 8] {
+        assert_eq!(stream(workers), reference, "workers={workers}");
+    }
+}
+
+#[test]
+fn progress_counts_every_completion() {
+    let jobs = batch(10);
+    let seen = Mutex::new(Vec::<Progress>::new());
+    let mut on_progress = |p: Progress| seen.lock().unwrap().push(p);
+    let opts = BatchOptions::<u64>::with_workers(4).on_progress(&mut on_progress);
+    run_batch(&jobs, opts, fake_sim).unwrap();
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), 10);
+    assert!(seen.iter().enumerate().all(|(i, p)| p.completed == i + 1));
+    assert!(seen.iter().all(|p| p.total == 10 && p.index < 10));
+    let mut indices: Vec<usize> = seen.iter().map(|p| p.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn zero_workers_means_available_parallelism() {
+    let jobs = batch(4);
+    let touched = AtomicUsize::new(0);
+    let results = run_batch_with(&jobs, 0, |&input, seed| {
+        touched.fetch_add(1, Ordering::Relaxed);
+        fake_sim(&input, seed)
+    })
+    .unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(touched.load(Ordering::Relaxed), 4);
+}

@@ -267,6 +267,9 @@ pub enum ScenarioError {
     Sim(hcperf_rtsim::SimError),
     /// Coordinator construction failed.
     Coordinator(hcperf_control::MfcConfigError),
+    /// A parallel experiment job crashed; the harness converted the
+    /// panic into this structured failure instead of killing the batch.
+    Job(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -275,6 +278,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Graph(e) => write!(f, "task graph: {e}"),
             ScenarioError::Sim(e) => write!(f, "simulator: {e}"),
             ScenarioError::Coordinator(e) => write!(f, "coordinator: {e}"),
+            ScenarioError::Job(msg) => write!(f, "experiment job: {msg}"),
         }
     }
 }

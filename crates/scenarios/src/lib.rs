@@ -49,8 +49,9 @@ pub use lane_keeping::{run_lane_keeping, LaneKeepingConfig, LaneKeepingResult};
 pub use metrics::TimeSeries;
 pub use motivation::{run_motivation, MotivationConfig, MotivationResult};
 pub use runner::{
-    compare_car_following, compare_car_following_seeded, compare_lane_keeping, SeedStats,
-    SeededComparison,
+    compare_car_following, compare_car_following_parallel, compare_car_following_seeded,
+    compare_car_following_seeded_parallel, compare_lane_keeping, compare_lane_keeping_parallel,
+    SeedStats, SeededComparison,
 };
-pub use sweep::{knee, rate_sweep, SweepConfig, SweepPoint};
+pub use sweep::{knee, rate_sweep, rate_sweep_parallel, SweepConfig, SweepPoint};
 pub use traffic_jam::{analyze_responsiveness, traffic_jam_config, ResponsivenessReport};

@@ -2,13 +2,31 @@
 //!
 //! Every evaluation figure compares the same scenario across all five
 //! schemes; this module runs them and collects the per-scheme results.
+//! Each `(scheme, seed)` cell is an independent deterministic
+//! simulation, so the comparisons also come in parallel flavours built
+//! on [`hcperf_harness`] — bit-identical to the sequential paths for
+//! any worker count, because every cell replays the exact seed the
+//! sequential loop would have used.
 
 use hcperf::Scheme;
+use hcperf_harness::{run_batch, BatchOptions, Job};
 
 use crate::car_following::{
     run_car_following, CarFollowingConfig, CarFollowingResult, ScenarioError,
 };
 use crate::lane_keeping::{run_lane_keeping, LaneKeepingConfig, LaneKeepingResult};
+
+/// Collects a harness batch of `Result` payloads back into the
+/// scenario error model: a panicked job surfaces as
+/// [`ScenarioError::Job`], a failed one propagates its own error.
+fn collect_jobs<O>(
+    results: Vec<hcperf_harness::JobResult<Result<O, ScenarioError>>>,
+) -> Result<Vec<O>, ScenarioError> {
+    results
+        .into_iter()
+        .map(|r| r.into_ok().map_err(ScenarioError::Job)?)
+        .collect()
+}
 
 /// Runs the car-following scenario for every scheme, keeping all other
 /// configuration identical.
@@ -57,8 +75,20 @@ pub struct SeedStats {
 }
 
 impl SeedStats {
+    /// Aggregates per-seed samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice: a `{mean: 0, std_dev: 0}` row for zero
+    /// seeds would be indistinguishable from a perfectly stable scheme,
+    /// so silently defaulting is a correctness hazard for the paper
+    /// tables built from these stats.
     fn from_samples(samples: &[f64]) -> SeedStats {
-        let n = samples.len().max(1) as f64;
+        assert!(
+            !samples.is_empty(),
+            "SeedStats::from_samples needs at least one sample"
+        );
+        let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         SeedStats {
@@ -69,7 +99,7 @@ impl SeedStats {
 }
 
 /// Per-scheme aggregates of a multi-seed car-following comparison.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeededComparison {
     /// Scheme evaluated.
     pub scheme: Scheme,
@@ -118,6 +148,115 @@ pub fn compare_car_following_seeded(
         .collect()
 }
 
+/// [`compare_car_following`] with the five scheme cells fanned out over
+/// a [`hcperf_harness`] worker pool (`workers = 0` = host parallelism).
+/// Bit-identical to the sequential path for any worker count.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`]; a panicked cell surfaces as
+/// [`ScenarioError::Job`].
+pub fn compare_car_following_parallel(
+    base: &CarFollowingConfig,
+    workers: usize,
+) -> Result<Vec<CarFollowingResult>, ScenarioError> {
+    let jobs: Vec<Job<Scheme>> = Scheme::all()
+        .into_iter()
+        .map(|scheme| Job::with_seed(format!("scheme={scheme}"), scheme, base.seed))
+        .collect();
+    let results = run_batch(&jobs, BatchOptions::with_workers(workers), |&scheme, _| {
+        let mut config = base.clone();
+        config.scheme = scheme;
+        run_car_following(&config)
+    })
+    .map_err(|e| ScenarioError::Job(e.to_string()))?;
+    collect_jobs(results)
+}
+
+/// [`compare_lane_keeping`] with the five scheme cells fanned out over
+/// a [`hcperf_harness`] worker pool (`workers = 0` = host parallelism).
+/// Bit-identical to the sequential path for any worker count.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`]; a panicked cell surfaces as
+/// [`ScenarioError::Job`].
+pub fn compare_lane_keeping_parallel(
+    base: &LaneKeepingConfig,
+    workers: usize,
+) -> Result<Vec<LaneKeepingResult>, ScenarioError> {
+    let jobs: Vec<Job<Scheme>> = Scheme::all()
+        .into_iter()
+        .map(|scheme| Job::with_seed(format!("scheme={scheme}"), scheme, base.seed))
+        .collect();
+    let results = run_batch(&jobs, BatchOptions::with_workers(workers), |&scheme, _| {
+        let mut config = base.clone();
+        config.scheme = scheme;
+        run_lane_keeping(&config)
+    })
+    .map_err(|e| ScenarioError::Job(e.to_string()))?;
+    collect_jobs(results)
+}
+
+/// [`compare_car_following_seeded`] with every `(scheme, seed)` cell —
+/// `5 × seeds.len()` independent simulations — fanned out over a
+/// [`hcperf_harness`] worker pool (`workers = 0` = host parallelism).
+///
+/// Each cell pins the exact seed the sequential loop would have used,
+/// and aggregation walks the cells in the sequential order, so the
+/// result is bit-identical to [`compare_car_following_seeded`] for any
+/// worker count.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`]; a panicked cell surfaces as
+/// [`ScenarioError::Job`].
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty, like the sequential path.
+pub fn compare_car_following_seeded_parallel(
+    base: &CarFollowingConfig,
+    seeds: &[u64],
+    workers: usize,
+) -> Result<Vec<SeededComparison>, ScenarioError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let jobs: Vec<Job<(Scheme, u64)>> = Scheme::all()
+        .into_iter()
+        .flat_map(|scheme| seeds.iter().map(move |&seed| (scheme, seed)))
+        .map(|(scheme, seed)| {
+            Job::with_seed(format!("scheme={scheme}/seed={seed}"), (scheme, seed), seed)
+        })
+        .collect();
+    let results = run_batch(
+        &jobs,
+        BatchOptions::with_workers(workers),
+        |&(scheme, seed), _| {
+            let mut config = base.clone();
+            config.scheme = scheme;
+            config.seed = seed;
+            run_car_following(&config)
+        },
+    )
+    .map_err(|e| ScenarioError::Job(e.to_string()))?;
+    let cells = collect_jobs(results)?;
+    Ok(cells
+        .chunks(seeds.len())
+        .zip(Scheme::all())
+        .map(|(runs, scheme)| {
+            let speed: Vec<f64> = runs.iter().map(|r| r.rms_speed_error).collect();
+            let dist: Vec<f64> = runs.iter().map(|r| r.rms_distance_error).collect();
+            let miss: Vec<f64> = runs.iter().map(|r| r.overall_miss_ratio).collect();
+            SeededComparison {
+                scheme,
+                rms_speed_error: SeedStats::from_samples(&speed),
+                rms_distance_error: SeedStats::from_samples(&dist),
+                overall_miss_ratio: SeedStats::from_samples(&miss),
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +281,12 @@ mod tests {
         let s = SeedStats::from_samples(&[1.0, 3.0]);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.std_dev, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn seed_stats_reject_empty_input() {
+        let _ = SeedStats::from_samples(&[]);
     }
 
     #[test]

@@ -5,16 +5,22 @@
 //! past it. This module sweeps pipeline rates for any scheme and reports
 //! the curve — useful both for validating that premise and for choosing
 //! baseline rates in experiments.
+//!
+//! Each probed rate is an independent deterministic simulation, so the
+//! sweep also comes in a parallel flavour ([`rate_sweep_parallel`])
+//! built on [`hcperf_harness`]: bit-identical to the sequential path
+//! for any worker count.
 
 use hcperf::{DpsConfig, Scheme};
+use hcperf_harness::{run_batch, BatchOptions, Job};
 use hcperf_rtsim::{JoinPolicy, Sim, SimConfig};
 use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
-use hcperf_taskgraph::{LoadProfile, Rate, SimTime};
+use hcperf_taskgraph::{LoadProfile, Rate, SimTime, TaskGraph};
 
 use crate::car_following::ScenarioError;
 
 /// One sweep sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct SweepPoint {
     /// Pipeline rate probed (Hz).
     pub rate_hz: f64,
@@ -22,8 +28,10 @@ pub struct SweepPoint {
     pub miss_ratio: f64,
     /// Control commands emitted per simulated second.
     pub commands_per_sec: f64,
-    /// Mean end-to-end latency in milliseconds (0 when no command).
-    pub mean_e2e_ms: f64,
+    /// Mean end-to-end latency in milliseconds; `None` when the run
+    /// emitted no command at all (serialized as JSON `null`), so "no
+    /// commands" is distinguishable from "zero latency".
+    pub mean_e2e_ms: Option<f64>,
 }
 
 /// Configuration of a rate sweep.
@@ -59,6 +67,47 @@ impl Default for SweepConfig {
     }
 }
 
+/// Simulates one probed rate. Every sweep point — sequential or
+/// parallel — goes through this single function, which is what makes
+/// the two paths bit-identical.
+fn sweep_point(
+    graph: &TaskGraph,
+    config: &SweepConfig,
+    rate_hz: f64,
+) -> Result<SweepPoint, ScenarioError> {
+    let mut sim = Sim::new(
+        graph.clone(),
+        SimConfig {
+            processors: config.processors,
+            seed: config.seed,
+            load: config.load.clone(),
+            join_policy: JoinPolicy::SameCycle,
+            expire_queued_jobs: false,
+            ..Default::default()
+        },
+        config.scheme.build(DpsConfig::default()),
+    )?;
+    let sources: Vec<_> = sim.source_rates().iter().map(|&(t, _)| t).collect();
+    for s in sources {
+        sim.set_source_rate(s, Rate::from_hz(rate_hz))?;
+    }
+    sim.run_until(SimTime::from_secs(config.duration));
+    Ok(SweepPoint {
+        rate_hz,
+        miss_ratio: sim.stats().totals().miss_ratio(),
+        commands_per_sec: sim.stats().commands_emitted() as f64 / config.duration,
+        mean_e2e_ms: sim.stats().mean_end_to_end().map(|d| d.as_millis()),
+    })
+}
+
+fn sweep_graph(config: &SweepConfig) -> Result<TaskGraph, ScenarioError> {
+    Ok(apollo_graph(&GraphOptions {
+        jitter_frac: config.jitter_frac,
+        with_affinity: config.scheme.uses_affinity(),
+        processors: config.processors,
+    })?)
+}
+
 /// Sweeps pipeline rates over the Fig. 11 graph and returns the
 /// miss/throughput curve.
 ///
@@ -66,38 +115,47 @@ impl Default for SweepConfig {
 ///
 /// Returns [`ScenarioError`] on graph or simulator construction failure.
 pub fn rate_sweep(config: &SweepConfig) -> Result<Vec<SweepPoint>, ScenarioError> {
-    let graph = apollo_graph(&GraphOptions {
-        jitter_frac: config.jitter_frac,
-        with_affinity: config.scheme.uses_affinity(),
-        processors: config.processors,
-    })?;
-    let mut out = Vec::with_capacity(config.rates_hz.len());
-    for &rate_hz in &config.rates_hz {
-        let mut sim = Sim::new(
-            graph.clone(),
-            SimConfig {
-                processors: config.processors,
-                seed: config.seed,
-                load: config.load.clone(),
-                join_policy: JoinPolicy::SameCycle,
-                expire_queued_jobs: false,
-                ..Default::default()
-            },
-            config.scheme.build(DpsConfig::default()),
-        )?;
-        let sources: Vec<_> = sim.source_rates().iter().map(|&(t, _)| t).collect();
-        for s in sources {
-            sim.set_source_rate(s, Rate::from_hz(rate_hz))?;
-        }
-        sim.run_until(SimTime::from_secs(config.duration));
-        out.push(SweepPoint {
-            rate_hz,
-            miss_ratio: sim.stats().totals().miss_ratio(),
-            commands_per_sec: sim.stats().commands_emitted() as f64 / config.duration,
-            mean_e2e_ms: sim.stats().mean_end_to_end().map_or(0.0, |d| d.as_millis()),
-        });
-    }
-    Ok(out)
+    let graph = sweep_graph(config)?;
+    config
+        .rates_hz
+        .iter()
+        .map(|&rate_hz| sweep_point(&graph, config, rate_hz))
+        .collect()
+}
+
+/// [`rate_sweep`] with the probed rates fanned out over a
+/// [`hcperf_harness`] worker pool.
+///
+/// `workers = 0` uses the host's available parallelism. The returned
+/// curve is bit-identical to the sequential [`rate_sweep`] for any
+/// worker count: every point runs the same simulation with the same
+/// `config.seed`, and the harness reports results in submission order.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] on graph or simulator construction
+/// failure, or [`ScenarioError::Job`] if a point's simulation panicked.
+pub fn rate_sweep_parallel(
+    config: &SweepConfig,
+    workers: usize,
+) -> Result<Vec<SweepPoint>, ScenarioError> {
+    let graph = sweep_graph(config)?;
+    let jobs: Vec<Job<f64>> = config
+        .rates_hz
+        .iter()
+        .enumerate()
+        // The sequential path runs every rate with the same config.seed;
+        // pin that seed so the parallel path replays it exactly.
+        .map(|(i, &rate_hz)| Job::with_seed(format!("rate[{i}]={rate_hz}"), rate_hz, config.seed))
+        .collect();
+    let results = run_batch(&jobs, BatchOptions::with_workers(workers), |&rate_hz, _| {
+        sweep_point(&graph, config, rate_hz)
+    })
+    .map_err(|e| ScenarioError::Job(e.to_string()))?;
+    results
+        .into_iter()
+        .map(|r| r.into_ok().map_err(ScenarioError::Job)?)
+        .collect()
 }
 
 /// Locates the capacity knee: the lowest probed rate whose miss ratio
@@ -147,7 +205,10 @@ mod tests {
     #[test]
     fn e2e_latency_grows_with_congestion() {
         let points = sweep(Scheme::Edf);
-        assert!(points[2].mean_e2e_ms > points[0].mean_e2e_ms, "{points:?}");
+        assert!(
+            points[2].mean_e2e_ms.unwrap() > points[0].mean_e2e_ms.unwrap(),
+            "{points:?}"
+        );
     }
 
     #[test]
@@ -159,5 +220,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(knee(&points, 0.5), None);
+    }
+
+    #[test]
+    fn missing_e2e_serializes_as_null() {
+        let p = SweepPoint {
+            rate_hz: 10.0,
+            miss_ratio: 0.0,
+            commands_per_sec: 0.0,
+            mean_e2e_ms: None,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"mean_e2e_ms\":null"), "{json}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        let config = SweepConfig {
+            rates_hz: vec![10.0, 25.0, 40.0],
+            duration: 2.0,
+            ..Default::default()
+        };
+        let sequential = rate_sweep(&config).unwrap();
+        for workers in [1, 3] {
+            assert_eq!(rate_sweep_parallel(&config, workers).unwrap(), sequential);
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use hcperf::analysis::{analyze, liu_layland_bound, max_rate_within_bound};
 use hcperf::Scheme;
-use hcperf_scenarios::sweep::{knee, rate_sweep, SweepConfig};
+use hcperf_scenarios::sweep::{knee, rate_sweep_parallel, SweepConfig};
 use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
 use hcperf_taskgraph::{ExecContext, Rate};
 
@@ -34,24 +34,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\n== empirical sweep (EDF, 5 s per point) ==");
-    let points = rate_sweep(&SweepConfig {
-        scheme: Scheme::Edf,
-        rates_hz: (2..=10).map(|k| k as f64 * 5.0).collect(),
-        ..Default::default()
-    })?;
+    println!("\n== empirical sweep (EDF, 5 s per point, one worker per core) ==");
+    let points = rate_sweep_parallel(
+        &SweepConfig {
+            scheme: Scheme::Edf,
+            rates_hz: (2..=10).map(|k| k as f64 * 5.0).collect(),
+            ..Default::default()
+        },
+        0,
+    )?;
     println!(
         "{:>7} {:>10} {:>12} {:>10}",
         "rate", "miss", "commands/s", "e2e (ms)"
     );
     for p in &points {
         let bar = "#".repeat((p.miss_ratio * 40.0).round() as usize);
+        let e2e = p
+            .mean_e2e_ms
+            .map_or_else(|| format!("{:>10}", "-"), |ms| format!("{ms:10.1}"));
         println!(
-            "{:5.0}Hz {:9.2}% {:12.1} {:10.1} {bar}",
+            "{:5.0}Hz {:9.2}% {:12.1} {e2e} {bar}",
             p.rate_hz,
             p.miss_ratio * 100.0,
             p.commands_per_sec,
-            p.mean_e2e_ms
         );
     }
     match knee(&points, 0.02) {

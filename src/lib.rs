@@ -9,7 +9,9 @@
 //! * [`vehicle`] — longitudinal/lateral vehicle dynamics;
 //! * [`core`] — the HCPerf coordinators, Dynamic Priority Scheduler and
 //!   baseline schedulers;
-//! * [`scenarios`] — the closed-loop driving experiment harness.
+//! * [`scenarios`] — the closed-loop driving experiment harness;
+//! * [`harness`] — the deterministic parallel experiment-execution
+//!   engine the evaluation surfaces fan out through.
 //!
 //! # Examples
 //!
@@ -23,6 +25,7 @@
 
 pub use hcperf as core;
 pub use hcperf_control as control;
+pub use hcperf_harness as harness;
 pub use hcperf_rtsim as rtsim;
 pub use hcperf_scenarios as scenarios;
 pub use hcperf_taskgraph as taskgraph;

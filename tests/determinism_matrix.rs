@@ -1,0 +1,84 @@
+//! The harness determinism matrix: every parallel evaluation surface,
+//! run with 1, 2 and 8 workers, must be **bit-identical** to its
+//! sequential counterpart. This is the contract that makes `--jobs N`
+//! a pure wall-clock knob — CI runs this file explicitly.
+
+use hcperf_suite::core::Scheme;
+use hcperf_suite::scenarios::car_following::CarFollowingConfig;
+use hcperf_suite::scenarios::runner::{
+    compare_car_following, compare_car_following_parallel, compare_car_following_seeded,
+    compare_car_following_seeded_parallel, compare_lane_keeping, compare_lane_keeping_parallel,
+};
+use hcperf_suite::scenarios::sweep::{rate_sweep, rate_sweep_parallel, SweepConfig};
+use hcperf_suite::scenarios::LaneKeepingConfig;
+
+const WORKER_MATRIX: [usize; 3] = [1, 2, 8];
+
+fn short_car_following() -> CarFollowingConfig {
+    let mut base = CarFollowingConfig::paper_simulation(Scheme::Hpf);
+    base.duration = 5.0;
+    base.fusion_step = None;
+    base.record_series = false;
+    base
+}
+
+#[test]
+fn rate_sweep_is_bit_identical_across_worker_counts() {
+    let config = SweepConfig {
+        rates_hz: vec![10.0, 20.0, 30.0, 40.0],
+        duration: 2.0,
+        ..Default::default()
+    };
+    let sequential = rate_sweep(&config).unwrap();
+    for workers in WORKER_MATRIX {
+        let parallel = rate_sweep_parallel(&config, workers).unwrap();
+        assert_eq!(parallel, sequential, "workers={workers}");
+    }
+}
+
+#[test]
+fn seeded_comparison_is_bit_identical_across_worker_counts() {
+    let base = short_car_following();
+    let seeds = [1u64, 2, 3];
+    let sequential = compare_car_following_seeded(&base, &seeds).unwrap();
+    for workers in WORKER_MATRIX {
+        let parallel = compare_car_following_seeded_parallel(&base, &seeds, workers).unwrap();
+        assert_eq!(parallel, sequential, "workers={workers}");
+    }
+}
+
+#[test]
+fn scheme_comparison_is_bit_identical_across_worker_counts() {
+    let base = short_car_following();
+    let sequential = compare_car_following(&base).unwrap();
+    for workers in WORKER_MATRIX {
+        let parallel = compare_car_following_parallel(&base, workers).unwrap();
+        assert_eq!(parallel.len(), sequential.len(), "workers={workers}");
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.scheme, p.scheme);
+            assert_eq!(s.commands, p.commands, "workers={workers} {}", s.scheme);
+            assert_eq!(s.rms_speed_error, p.rms_speed_error);
+            assert_eq!(s.rms_distance_error, p.rms_distance_error);
+            assert_eq!(s.overall_miss_ratio, p.overall_miss_ratio);
+            assert_eq!(s.mean_e2e_ms, p.mean_e2e_ms);
+        }
+    }
+}
+
+#[test]
+fn lane_keeping_comparison_is_bit_identical_across_worker_counts() {
+    let mut base = LaneKeepingConfig::paper_loop(Scheme::Hpf);
+    base.duration = 5.0;
+    let sequential = compare_lane_keeping(&base).unwrap();
+    for workers in WORKER_MATRIX {
+        let parallel = compare_lane_keeping_parallel(&base, workers).unwrap();
+        assert_eq!(parallel.len(), sequential.len(), "workers={workers}");
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.scheme, p.scheme);
+            assert_eq!(s.commands, p.commands, "workers={workers} {}", s.scheme);
+            assert_eq!(s.rms_lateral_offset, p.rms_lateral_offset);
+            assert_eq!(s.max_lateral_offset, p.max_lateral_offset);
+            assert_eq!(s.overall_miss_ratio, p.overall_miss_ratio);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! Wider windows attenuate noise better but cost more per sample and add
 //! estimation lag; this bench times the per-sample cost across widths.
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand to undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcperf_control::AlgebraicDifferentiator;

@@ -11,6 +11,7 @@
 //! Bisection vs critical-points crossover as the ready queue grows
 //! motivates the bisection default; cached vs sort-per-probe is the hot
 //! path optimization headline.
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand to undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcperf::dps::{reference, DpsConfig, DynamicPriorityScheduler, GammaSearch};

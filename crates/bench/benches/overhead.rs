@@ -5,6 +5,7 @@
 //! coordinator invocations per second, so the per-invocation budget is
 //! ~500 µs. These benches time each component and the full per-period
 //! decision.
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand to undocumented items
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hcperf::coordinator::{CoordinatorConfig, HcPerf, PeriodInput};

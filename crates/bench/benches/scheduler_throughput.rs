@@ -3,6 +3,7 @@
 //! plus `dispatch_heavy`, which drives the whole engine at elevated source
 //! rates so the `try_dispatch` hot path (candidate filtering, queue
 //! maintenance, γ recomputation) dominates the measurement.
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand to undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcperf::{DpsConfig, Scheme};

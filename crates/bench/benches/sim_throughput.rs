@@ -1,6 +1,7 @@
 //! Engine throughput: wall-clock cost of simulating one second of the
 //! 23-task pipeline at 30 Hz under each scheme (the headline cost of the
 //! whole reproduction's experiments).
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand to undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcperf::{DpsConfig, Scheme};

@@ -22,9 +22,6 @@
 //!
 //! Time-series CSVs land in `target/experiments/`.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod experiments;
 pub mod fig05;
 pub mod paper;

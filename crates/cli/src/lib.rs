@@ -14,9 +14,6 @@
 //! the workspace's approved crates; every subcommand ([`commands`]) returns
 //! its report as a `String` for testability.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod args;
 pub mod commands;
 

@@ -65,6 +65,7 @@ impl LowPass {
             self.initialized = true;
             return self.state;
         }
+        // hcperf-lint: allow(float-eq): τ = 0 is a configured pass-through sentinel, never a computed value
         if self.time_constant == 0.0 {
             self.state = input;
         } else {

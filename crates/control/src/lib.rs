@@ -26,9 +26,6 @@
 //! # Ok::<(), hcperf_control::MfcConfigError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod ade;
 pub mod filter;
 pub mod mfc;

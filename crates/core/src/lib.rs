@@ -56,9 +56,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod analysis;
 pub mod baselines;
 pub mod coordinator;

@@ -152,6 +152,7 @@ impl TaskRateAdapter {
     ) -> Vec<(TaskId, Rate)> {
         self.watchdog(exec_signal);
         // e(k) = m_t − m(k), with the zero-miss bonus.
+        // hcperf-lint: allow(float-eq): the zero-miss bonus applies only to an exact 0/n window count
         let error = if miss_ratio == 0.0 {
             self.config.zero_miss_bonus
         } else {

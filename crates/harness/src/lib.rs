@@ -34,9 +34,6 @@
 //! assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod job;
 pub mod pool;
 pub mod seed;

@@ -1,0 +1,43 @@
+//! `hcperf-lint`: the workspace's determinism and schedulability gate.
+//!
+//! HCPerf's evaluation rests on bit-reproducible simulation, and PR 1/PR 2
+//! assert bit-identity in tests — but nothing *statically* prevented the
+//! hazards that silently break it. This crate closes that gap with two
+//! analysis modes, both wired into CI ahead of the build:
+//!
+//! 1. **Source rules** (default mode) — a std-only lexical scanner (no
+//!    external parser) masks comments, string/char literals and
+//!    `#[cfg(test)]` modules, then enforces per-crate rule families:
+//!    [`report::Rule::WallClock`], [`report::Rule::UnorderedIteration`],
+//!    [`report::Rule::Entropy`], [`report::Rule::FloatEq`] and the
+//!    [`report::Rule::UnwrapRatchet`] baseline that may only shrink.
+//!    Intentional sites carry `// hcperf-lint: allow(<rule>): <reason>`
+//!    waivers; diagnostics come out as human `file:line` text or `--json`.
+//!
+//! 2. **Schedulability audit** (`--schedulability`) — every task graph in
+//!    `taskgraph::graphs` and every scenario preset is checked at its
+//!    reference operating point: Eq. 9 scheduling deadlines must be
+//!    positive (`Dᵢ > cᵢᵐᵃˣ`) and the Eq. 11 constraint system must admit
+//!    a non-empty feasible γ range on the configured core count, decided
+//!    by the paper-literal `dps::reference` oracle in strict mode.
+//!
+//! Exit codes are distinct per failure class — see [`report::exit`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hcperf_lint::rules::{scan_file, RuleSet};
+//!
+//! let scan = scan_file("demo.rs", "use std::time::Instant;\n", RuleSet::FULL);
+//! assert_eq!(scan.findings.len(), 1);
+//! ```
+
+pub mod ratchet;
+pub mod report;
+pub mod rules;
+pub mod sched;
+pub mod source;
+pub mod workspace;
+
+pub use report::{Finding, Rule};
+pub use workspace::{run_source_lint, LintReport, BASELINE_PATH};

@@ -1,0 +1,145 @@
+//! The `hcperf-lint` binary: source rules by default, `--schedulability`
+//! for the Eq. 9 / Eq. 11 audit. See the library docs for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hcperf_lint::report::exit;
+use hcperf_lint::{ratchet, sched, workspace};
+
+const USAGE: &str = "\
+hcperf-lint — determinism & schedulability gate for the HCPerf workspace
+
+USAGE:
+    hcperf-lint [--json] [--root <path>] [--update-baseline]
+    hcperf-lint --schedulability [--json]
+
+MODES:
+    (default)          scan deterministic crates for wall-clock access,
+                       HashMap/HashSet, ambient entropy, float ==/!=, and
+                       check the unwrap()/expect() ratchet baseline
+    --schedulability   audit every registered task graph and scenario
+                       preset: Eq. 9 deadlines and Eq. 11 feasible γ range
+
+OPTIONS:
+    --json             machine-readable output
+    --root <path>      workspace root (default: inferred from cargo)
+    --update-baseline  rewrite crates/lint/unwrap_baseline.txt from the
+                       current counts instead of comparing against it
+
+EXIT CODES:
+    0 clean   1 findings   2 ratchet growth   3 infeasible target   4 usage
+";
+
+struct Args {
+    json: bool,
+    schedulability: bool,
+    update_baseline: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        schedulability: false,
+        update_baseline: false,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--schedulability" => args.schedulability = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.schedulability && args.update_baseline {
+        return Err("--update-baseline only applies to the source mode".to_owned());
+    }
+    Ok(args)
+}
+
+/// The workspace root: `--root`, else two levels above this crate's
+/// manifest (set by cargo), else the current directory.
+fn resolve_root(args: &Args) -> PathBuf {
+    if let Some(r) = &args.root {
+        return r.clone();
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::from(0);
+            }
+            eprintln!("hcperf-lint: {msg}\n\n{USAGE}");
+            return code(exit::USAGE);
+        }
+    };
+
+    if args.schedulability {
+        let results = sched::audit_all();
+        if args.json {
+            println!("{}", sched::render_json(&results));
+        } else {
+            print!("{}", sched::render_human(&results));
+        }
+        return code(sched::exit_code(&results));
+    }
+
+    let root = resolve_root(&args);
+    let report = match workspace::run_source_lint(&root, !args.update_baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcperf-lint: {e}");
+            return code(exit::USAGE);
+        }
+    };
+
+    if args.update_baseline {
+        let path = root.join(workspace::BASELINE_PATH);
+        let text = ratchet::render_baseline(&report.unwrap_counts);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
+            return code(exit::USAGE);
+        }
+        println!(
+            "hcperf-lint: baseline rewritten ({} unwrap/expect sites across {} files)",
+            report.unwrap_counts.values().sum::<usize>(),
+            report.unwrap_counts.values().filter(|&&c| c > 0).count()
+        );
+        // Source findings still gate --update-baseline runs.
+        if !report.findings.is_empty() {
+            print!("{}", report.render_human());
+        }
+        return code(report.exit_code());
+    }
+
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    code(report.exit_code())
+}
+
+#[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+fn code(c: i32) -> ExitCode {
+    ExitCode::from(c as u8)
+}

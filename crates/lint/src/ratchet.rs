@@ -1,0 +1,155 @@
+//! The `unwrap()`/`expect()` ratchet: counts in library code are compared
+//! against a checked-in baseline that may only shrink.
+
+use std::collections::BTreeMap;
+
+/// Per-file comparison against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetDelta {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Count recorded in the baseline (0 when absent — new files must be
+    /// `unwrap`-free or the baseline must be deliberately updated).
+    pub baseline: usize,
+    /// Count measured by this run.
+    pub current: usize,
+}
+
+/// Outcome of the ratchet comparison.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Files whose count grew past the baseline (fails the run).
+    pub growth: Vec<RatchetDelta>,
+    /// Files whose count shrank (passes; refresh via `--update-baseline`).
+    pub shrink: Vec<RatchetDelta>,
+    /// Sum of measured counts.
+    pub current_total: usize,
+    /// Sum of baseline counts.
+    pub baseline_total: usize,
+}
+
+impl RatchetReport {
+    /// True when no file grew.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.growth.is_empty()
+    }
+}
+
+/// Parses a baseline file: `#` comment lines plus `count<TAB>path` rows.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed row.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("baseline line {}: expected `count<TAB>path`", idx + 1))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+        map.insert(path.trim().to_owned(), count);
+    }
+    Ok(map)
+}
+
+/// Renders a baseline file from measured counts (zero-count files omitted).
+#[must_use]
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# hcperf-lint unwrap-ratchet baseline: `.unwrap()`/`.expect(` occurrences in\n\
+         # library code (tests and waived lines excluded). This file may only shrink;\n\
+         # regenerate with `cargo run -p hcperf-lint -- --update-baseline`.\n",
+    );
+    for (path, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{count}\t{path}\n"));
+        }
+    }
+    out
+}
+
+/// Compares measured counts against the baseline.
+#[must_use]
+pub fn compare(
+    counts: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    for (path, &current) in counts {
+        let base = baseline.get(path).copied().unwrap_or(0);
+        report.current_total += current;
+        let delta = RatchetDelta {
+            path: path.clone(),
+            baseline: base,
+            current,
+        };
+        if current > base {
+            report.growth.push(delta);
+        } else if current < base {
+            report.shrink.push(delta);
+        }
+    }
+    for (path, &base) in baseline {
+        report.baseline_total += base;
+        if !counts.contains_key(path) && base > 0 {
+            // File deleted (or no longer scanned): pure shrink.
+            report.shrink.push(RatchetDelta {
+                path: path.clone(),
+                baseline: base,
+                current: 0,
+            });
+        }
+    }
+    report.shrink.sort_by(|a, b| a.path.cmp(&b.path));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(p, c)| ((*p).to_owned(), *c)).collect()
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let c = counts(&[("a.rs", 3), ("b.rs", 0), ("c.rs", 7)]);
+        let parsed = parse_baseline(&render_baseline(&c)).unwrap();
+        assert_eq!(parsed, counts(&[("a.rs", 3), ("c.rs", 7)]));
+    }
+
+    #[test]
+    fn growth_fails_shrink_passes() {
+        let baseline = counts(&[("a.rs", 5), ("gone.rs", 2)]);
+        let grown = compare(&counts(&[("a.rs", 6)]), &baseline);
+        assert!(!grown.ok());
+        assert_eq!(grown.growth[0].current, 6);
+
+        let shrunk = compare(&counts(&[("a.rs", 4)]), &baseline);
+        assert!(shrunk.ok());
+        // Both the reduced file and the deleted one register as shrink.
+        assert_eq!(shrunk.shrink.len(), 2);
+    }
+
+    #[test]
+    fn new_file_with_unwraps_is_growth() {
+        let r = compare(&counts(&[("new.rs", 1)]), &BTreeMap::new());
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn rejects_malformed_baseline() {
+        assert!(parse_baseline("nonsense").is_err());
+        assert!(parse_baseline("x\ta.rs").is_err());
+        assert!(parse_baseline("# comment\n3\ta.rs\n").is_ok());
+    }
+}

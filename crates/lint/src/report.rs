@@ -1,0 +1,170 @@
+//! Rule identifiers, findings, and the human / JSON renderers.
+
+use std::fmt;
+
+/// Process exit codes, one per failure class so CI logs are unambiguous.
+pub mod exit {
+    /// No findings, ratchet within baseline, every audit target feasible.
+    pub const CLEAN: i32 = 0;
+    /// Unwaived source-rule findings (including malformed waivers).
+    pub const FINDINGS: i32 = 1;
+    /// `unwrap()`/`expect()` count grew past the checked-in baseline.
+    pub const RATCHET: i32 = 2;
+    /// A task graph or scenario preset failed the schedulability audit.
+    pub const SCHEDULABILITY: i32 = 3;
+    /// Bad command line, unreadable workspace, or missing baseline.
+    pub const USAGE: i32 = 4;
+}
+
+/// The rule families enforced by the source pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Instant` / `SystemTime` / `thread::sleep` outside `harness`/`bench`.
+    WallClock,
+    /// `HashMap` / `HashSet` in deterministic crates (iteration order is
+    /// seeded per process; use `BTreeMap` or an indexed `Vec`).
+    UnorderedIteration,
+    /// `thread_rng` / `from_entropy` / `RandomState`: ambient entropy.
+    Entropy,
+    /// `==` / `!=` against float operands outside approx helpers.
+    FloatEq,
+    /// `unwrap()` / `expect()` in library code, ratcheted against a
+    /// baseline that may only shrink.
+    UnwrapRatchet,
+    /// A `hcperf-lint:` comment that does not parse as a waiver.
+    WaiverSyntax,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::WallClock,
+        Rule::UnorderedIteration,
+        Rule::Entropy,
+        Rule::FloatEq,
+        Rule::UnwrapRatchet,
+        Rule::WaiverSyntax,
+    ];
+
+    /// The kebab-case name used in diagnostics and waiver comments.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::Entropy => "entropy",
+            Rule::FloatEq => "float-eq",
+            Rule::UnwrapRatchet => "unwrap-ratchet",
+            Rule::WaiverSyntax => "waiver-syntax",
+        }
+    }
+
+    /// Parses a waiver rule name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a rule fired at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Waiver reason when the site carries a matching
+    /// `// hcperf-lint: allow(<rule>): <reason>` comment.
+    pub waived: Option<String>,
+}
+
+impl Finding {
+    /// Renders the `file:line: [rule] message` human diagnostic.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.snippet
+        );
+        if let Some(reason) = &self.waived {
+            s.push_str(&format!("\n    waived: {reason}"));
+        }
+        s
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a finding as a JSON object.
+#[must_use]
+pub fn finding_json(f: &Finding) -> String {
+    let mut s = format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"",
+        f.rule,
+        json_escape(&f.path),
+        f.line,
+        json_escape(&f.snippet),
+        json_escape(&f.message),
+    );
+    if let Some(reason) = &f.waived {
+        s.push_str(&format!(",\"waived\":\"{}\"", json_escape(reason)));
+    }
+    s.push('}');
+    s
+}
+
+/// Formats an `Option<f64>` as JSON (`null` when absent).
+#[must_use]
+pub fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.6}"),
+        None => "null".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::parse(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

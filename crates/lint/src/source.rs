@@ -1,0 +1,365 @@
+//! Comment/string-aware source masking and waiver-comment parsing.
+//!
+//! The scanner is deliberately token-light: it does not parse Rust, it only
+//! tracks enough lexical state (line/block comments, string/char/raw-string
+//! literals, `#[cfg(test)] mod` regions) to blank out every byte that rule
+//! patterns must not match. Blanked bytes become spaces so byte offsets —
+//! and therefore line numbers — stay exact.
+
+use crate::report::Rule;
+
+/// A parsed `// hcperf-lint: allow(<rule>): <reason>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule being waived; `None` when the comment carried the marker but
+    /// did not parse (reported as [`Rule::WaiverSyntax`]).
+    pub rule: Option<Rule>,
+    /// 1-based line the comment sits on. A waiver covers its own line and
+    /// the line immediately after, so it can trail the site or precede it.
+    pub line: usize,
+    /// The mandatory justification text.
+    pub reason: String,
+}
+
+/// Result of masking one source file.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// Same byte length as the input; comments, string/char literals and
+    /// `#[cfg(test)] mod … { … }` regions are spaces (newlines kept).
+    pub masked: String,
+    /// Every waiver comment found, malformed ones included.
+    pub waivers: Vec<Waiver>,
+}
+
+const MARKER: &str = "hcperf-lint:";
+
+/// Masks `source` and collects waiver comments.
+#[must_use]
+pub fn mask(source: &str) -> MaskedFile {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut waivers = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = line_end(bytes, i);
+                // Doc comments (`///`, `//!`) are prose, not directives:
+                // they may legitimately *mention* the waiver syntax.
+                let doc = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
+                if !doc {
+                    if let Some(w) = parse_waiver(&source[i..end], line_of(bytes, i)) {
+                        waivers.push(w);
+                    }
+                }
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let end = block_comment_end(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' if raw_string_start(bytes, i).is_some() => {
+                let end = raw_string_end(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let end = string_end(bytes, i + 1);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'r') && raw_string_start(bytes, i + 1).is_some() => {
+                let end = raw_string_end(bytes, i + 1);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    // A lifetime: leave it in place.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    mask_test_modules(&mut out);
+    MaskedFile {
+        masked: String::from_utf8(out).expect("masking only writes ASCII spaces"),
+        waivers,
+    }
+}
+
+/// 1-based line number of byte offset `at`.
+fn line_of(bytes: &[u8], at: usize) -> usize {
+    1 + bytes[..at].iter().filter(|&&b| b == b'\n').count()
+}
+
+fn line_end(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |p| from + p)
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for b in &mut out[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn block_comment_end(bytes: &[u8], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// End (exclusive) of a `"…"` literal starting at the opening quote.
+fn string_end(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If `r"` / `r#"`-style raw string opens at `i`, returns the hash count.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[i], b'r');
+    let mut hashes = 0;
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+fn raw_string_end(bytes: &[u8], r_at: usize) -> usize {
+    let hashes = raw_string_start(bytes, r_at).expect("caller checked");
+    let mut i = r_at + 1 + hashes + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
+/// Returns the end offset for a literal, `None` for a lifetime.
+fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
+    match bytes.get(open + 1) {
+        Some(b'\\') => {
+            // Escaped literal: skip to the closing quote.
+            let mut i = open + 2;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return Some(i + 1),
+                    _ => i += 1,
+                }
+            }
+            Some(bytes.len())
+        }
+        Some(_) if bytes.get(open + 2) == Some(&b'\'') => Some(open + 3),
+        Some(&b) if b >= 0x80 => {
+            // Multi-byte char literal like 'γ': the closing quote sits at
+            // most 4 bytes after the opening one.
+            (open + 2..(open + 6).min(bytes.len()))
+                .find(|&j| bytes[j] == b'\'')
+                .map(|j| j + 1)
+        }
+        _ => None,
+    }
+}
+
+/// Blanks every `#[cfg(test)] mod … { … }` region in already-masked bytes
+/// (string/comment-free, so brace matching is safe). Library rules apply to
+/// shipping code only; unit tests may use wall clocks or `unwrap` freely.
+fn mask_test_modules(out: &mut [u8]) {
+    const ATTR: &[u8] = b"#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = find_bytes(out, ATTR, from) {
+        let mut i = pos + ATTR.len();
+        while i < out.len() && out[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let is_mod =
+            out[i..].starts_with(b"mod") && out.get(i + 3).is_some_and(|b| b.is_ascii_whitespace());
+        if !is_mod {
+            from = pos + ATTR.len();
+            continue;
+        }
+        let Some(open_rel) = out[i..].iter().position(|&b| b == b'{') else {
+            return;
+        };
+        let mut depth = 0usize;
+        let mut j = i + open_rel;
+        while j < out.len() {
+            match out[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = (j + 1).min(out.len());
+        blank(out, pos, end);
+        from = end;
+    }
+}
+
+fn find_bytes(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+/// Parses one line comment into a waiver if it carries the marker.
+fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+    let at = comment.find(MARKER)?;
+    let rest = comment[at + MARKER.len()..].trim_start();
+    let malformed = Waiver {
+        rule: None,
+        line,
+        reason: comment.trim_start_matches('/').trim().to_owned(),
+    };
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Some(malformed);
+    };
+    let Some(close) = args.find(')') else {
+        return Some(malformed);
+    };
+    let Some(rule) = Rule::parse(args[..close].trim()) else {
+        return Some(malformed);
+    };
+    let tail = args[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix(':') else {
+        return Some(malformed);
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Some(malformed);
+    }
+    Some(Waiver {
+        rule: Some(rule),
+        line,
+        reason: reason.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings_preserving_lines() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 1;\n";
+        let m = mask(src);
+        assert_eq!(m.masked.len(), src.len());
+        assert!(!m.masked.contains("HashMap"));
+        assert!(m.masked.contains("let b = 1;"));
+        assert_eq!(m.masked.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars_keeps_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let r = r#\"Instant\"#; }";
+        let m = mask(src);
+        assert!(!m.masked.contains("Instant"));
+        assert!(m.masked.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.masked.contains("'x'"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask("/* outer /* SystemTime */ still */ let x = 1;");
+        assert!(!m.masked.contains("SystemTime"));
+        assert!(m.masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn masks_cfg_test_modules() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\nfn after() {}\n";
+        let m = mask(src);
+        assert!(!m.masked.contains("HashMap"));
+        assert!(m.masked.contains("fn lib()"));
+        assert!(m.masked.contains("fn after()"));
+    }
+
+    #[test]
+    fn parses_well_formed_waiver() {
+        let m = mask("let x = 1; // hcperf-lint: allow(float-eq): exact sentinel\n");
+        assert_eq!(
+            m.waivers,
+            vec![Waiver {
+                rule: Some(Rule::FloatEq),
+                line: 1,
+                reason: "exact sentinel".to_owned(),
+            }]
+        );
+    }
+
+    #[test]
+    fn flags_malformed_waivers() {
+        for bad in [
+            "// hcperf-lint: allow(float-eq)\n",          // missing reason
+            "// hcperf-lint: allow(no-such-rule): why\n", // unknown rule
+            "// hcperf-lint: disallow(float-eq): why\n",  // wrong verb
+        ] {
+            let m = mask(bad);
+            assert_eq!(m.waivers.len(), 1, "{bad:?}");
+            assert_eq!(m.waivers[0].rule, None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        let m = mask("/// hcperf-lint: allow(float-eq): prose, not a directive\nfn f() {}\n//! hcperf-lint: allow(entropy)\n");
+        assert!(m.waivers.is_empty());
+    }
+}

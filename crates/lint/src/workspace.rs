@@ -1,0 +1,244 @@
+//! Workspace walking and the source-lint orchestration.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::ratchet::{self, RatchetReport};
+use crate::report::{exit, finding_json, Finding};
+use crate::rules::{scan_file, RuleSet};
+
+/// Crates whose simulation results must be bit-reproducible: every rule
+/// family applies to their `src/` trees.
+pub const DETERMINISTIC_CRATES: [&str; 6] = [
+    "crates/taskgraph/src",
+    "crates/rtsim/src",
+    "crates/control/src",
+    "crates/vehicle/src",
+    "crates/scenarios/src",
+    "crates/core/src",
+];
+
+/// Crates that orchestrate runs but must not read wall clocks themselves.
+/// (`crates/harness` and `crates/bench` legitimately time real execution
+/// and are exempt by the rule's definition.)
+pub const WALL_CLOCK_ONLY_ROOTS: [&str; 3] = ["crates/cli/src", "crates/lint/src", "src"];
+
+/// Workspace-relative path of the checked-in ratchet baseline.
+pub const BASELINE_PATH: &str = "crates/lint/unwrap_baseline.txt";
+
+/// Aggregated result of the source pass over the whole workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Unwaived findings (fail the run).
+    pub findings: Vec<Finding>,
+    /// Waived findings with their reasons (informational).
+    pub waived: Vec<Finding>,
+    /// Ratchet comparison; `None` when running with `--update-baseline`.
+    pub ratchet: Option<RatchetReport>,
+    /// Measured per-file unwrap counts (for baseline regeneration).
+    pub unwrap_counts: BTreeMap<String, usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// The process exit code this report maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if !self.findings.is_empty() {
+            exit::FINDINGS
+        } else if self.ratchet.as_ref().is_some_and(|r| !r.ok()) {
+            exit::RATCHET
+        } else {
+            exit::CLEAN
+        }
+    }
+
+    /// Renders the human diagnostics.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if let Some(r) = &self.ratchet {
+            for g in &r.growth {
+                out.push_str(&format!(
+                    "{}: [unwrap-ratchet] {} unwrap/expect sites, baseline allows {}\n",
+                    g.path, g.current, g.baseline
+                ));
+            }
+            for s in &r.shrink {
+                out.push_str(&format!(
+                    "note: {} shrank to {} unwrap/expect sites (baseline {}); refresh with --update-baseline\n",
+                    s.path, s.current, s.baseline
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "hcperf-lint: {} files, {} findings, {} waived, unwrap ratchet {}/{}{}\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived.len(),
+            self.ratchet.as_ref().map_or(0, |r| r.current_total),
+            self.ratchet.as_ref().map_or(0, |r| r.baseline_total),
+            match self.exit_code() {
+                exit::CLEAN => " — clean",
+                exit::RATCHET => " — RATCHET GROWTH",
+                _ => " — FAILED",
+            }
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(finding_json).collect();
+        let waived: Vec<String> = self.waived.iter().map(finding_json).collect();
+        let ratchet = self.ratchet.as_ref().map_or_else(
+            || "null".to_owned(),
+            |r| {
+                let growth: Vec<String> = r
+                    .growth
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"path\":\"{}\",\"baseline\":{},\"current\":{}}}",
+                            crate::report::json_escape(&d.path),
+                            d.baseline,
+                            d.current
+                        )
+                    })
+                    .collect();
+                let shrink: Vec<String> = r
+                    .shrink
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"path\":\"{}\",\"baseline\":{},\"current\":{}}}",
+                            crate::report::json_escape(&d.path),
+                            d.baseline,
+                            d.current
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"baseline_total\":{},\"current_total\":{},\"growth\":[{}],\"shrink\":[{}]}}",
+                    r.baseline_total,
+                    r.current_total,
+                    growth.join(","),
+                    shrink.join(",")
+                )
+            },
+        );
+        format!(
+            "{{\"mode\":\"lint\",\"files_scanned\":{},\"findings\":[{}],\"waived\":[{}],\"ratchet\":{},\"exit_code\":{}}}",
+            self.files_scanned,
+            findings.join(","),
+            waived.join(","),
+            ratchet,
+            self.exit_code()
+        )
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for reproducible
+/// report order.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn scan_root(
+    root: &Path,
+    rel_root: &str,
+    rules: RuleSet,
+    report: &mut LintReport,
+) -> io::Result<()> {
+    let src = root.join(rel_root);
+    if !src.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("expected source tree at {}", src.display()),
+        ));
+    }
+    for path in rust_files(&src)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&path)?;
+        let scan = scan_file(&rel, &text, rules);
+        report.files_scanned += 1;
+        report.findings.extend(scan.findings);
+        report.waived.extend(scan.waived);
+        if rules.determinism {
+            report.unwrap_counts.insert(rel, scan.unwrap_count);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the source pass over the workspace rooted at `root`.
+///
+/// When `against_baseline` is true the unwrap counts are compared against
+/// [`BASELINE_PATH`]; a missing or malformed baseline is an error so CI
+/// cannot silently skip the ratchet.
+///
+/// # Errors
+///
+/// Propagates I/O failures and baseline-format problems.
+pub fn run_source_lint(root: &Path, against_baseline: bool) -> io::Result<LintReport> {
+    let mut report = LintReport {
+        findings: Vec::new(),
+        waived: Vec::new(),
+        ratchet: None,
+        unwrap_counts: BTreeMap::new(),
+        files_scanned: 0,
+    };
+    for rel in DETERMINISTIC_CRATES {
+        scan_root(root, rel, RuleSet::FULL, &mut report)?;
+    }
+    for rel in WALL_CLOCK_ONLY_ROOTS {
+        scan_root(root, rel, RuleSet::WALL_CLOCK_ONLY, &mut report)?;
+    }
+    if against_baseline {
+        let path = root.join(BASELINE_PATH);
+        let text = fs::read_to_string(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!(
+                    "cannot read ratchet baseline {}: {e}; bootstrap with --update-baseline",
+                    path.display()
+                ),
+            )
+        })?;
+        let baseline = parse_baseline_io(&text)?;
+        report.ratchet = Some(ratchet::compare(&report.unwrap_counts, &baseline));
+    }
+    Ok(report)
+}
+
+fn parse_baseline_io(text: &str) -> io::Result<BTreeMap<String, usize>> {
+    ratchet::parse_baseline(text).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+}

@@ -1,0 +1,295 @@
+//! Integration tests: fixture files for every rule, waiver handling, the
+//! `--json` shape, ratchet growth/shrink, exit codes, and a clean run of
+//! both modes against the real workspace.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use hcperf_lint::report::{exit, Rule};
+use hcperf_lint::rules::{scan_file, FileScan, RuleSet};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn scan_fixture(name: &str) -> FileScan {
+    scan_file(name, &fixture(name), RuleSet::FULL)
+}
+
+fn rules_of(findings: &[hcperf_lint::Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let s = scan_fixture("clean.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert!(s.waived.is_empty());
+    assert_eq!(s.unwrap_count, 0);
+}
+
+#[test]
+fn wall_clock_fixture_positive_and_waived() {
+    let s = scan_fixture("wall_clock_hit.rs");
+    let r = rules_of(&s.findings);
+    assert!(r.len() >= 3, "Instant, thread::sleep, SystemTime: {r:?}");
+    assert!(r.iter().all(|&x| x == Rule::WallClock));
+
+    let s = scan_fixture("wall_clock_waived.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert_eq!(s.waived.len(), 2);
+    assert!(s.waived.iter().all(|f| f.waived.is_some()));
+}
+
+#[test]
+fn unordered_fixture_positive_and_waived() {
+    let s = scan_fixture("unordered_hit.rs");
+    let r = rules_of(&s.findings);
+    assert!(r.len() >= 4, "imports + constructions: {r:?}");
+    assert!(r.iter().all(|&x| x == Rule::UnorderedIteration));
+
+    let s = scan_fixture("unordered_waived.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert_eq!(s.waived.len(), 1);
+}
+
+#[test]
+fn entropy_fixture_positive_and_waived() {
+    let s = scan_fixture("entropy_hit.rs");
+    let r = rules_of(&s.findings);
+    assert_eq!(r.len(), 3, "thread_rng, from_entropy, RandomState: {r:?}");
+    assert!(r.iter().all(|&x| x == Rule::Entropy));
+
+    let s = scan_fixture("entropy_waived.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert_eq!(s.waived.len(), 1);
+}
+
+#[test]
+fn float_eq_fixture_positive_and_waived() {
+    let s = scan_fixture("float_eq_hit.rs");
+    let r = rules_of(&s.findings);
+    assert_eq!(r.len(), 3, "literal ==, literal !=, accessor ==: {r:?}");
+    assert!(r.iter().all(|&x| x == Rule::FloatEq));
+
+    let s = scan_fixture("float_eq_waived.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert_eq!(s.waived.len(), 1);
+}
+
+#[test]
+fn unwrap_fixture_counts_library_code_only() {
+    let s = scan_fixture("unwraps.rs");
+    // Three countable sites; the waived one and the test-module one do not
+    // count.
+    assert_eq!(s.unwrap_count, 3);
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+}
+
+#[test]
+fn malformed_waiver_fixture_is_flagged() {
+    let s = scan_fixture("waiver_malformed.rs");
+    let r = rules_of(&s.findings);
+    assert!(r.contains(&Rule::WaiverSyntax), "{r:?}");
+    // The float-eq underneath is NOT suppressed by a malformed waiver.
+    assert!(r.contains(&Rule::FloatEq), "{r:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Binary end-to-end: exit codes and --json shape on synthetic workspaces.
+// ---------------------------------------------------------------------------
+
+/// Builds a minimal workspace layout the binary can scan, returning its
+/// root. `violations` maps workspace-relative paths to file contents.
+fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("hcperf-lint-{}-{tag}", std::process::id()));
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clean stale fixture root");
+    }
+    for dir in [
+        "crates/taskgraph/src",
+        "crates/rtsim/src",
+        "crates/control/src",
+        "crates/vehicle/src",
+        "crates/scenarios/src",
+        "crates/core/src",
+        "crates/cli/src",
+        "crates/lint/src",
+        "src",
+    ] {
+        fs::create_dir_all(root.join(dir)).expect("mkdir");
+        fs::write(root.join(dir).join("lib.rs"), "// empty\n").expect("seed lib.rs");
+    }
+    for (rel, text) in violations {
+        fs::write(root.join(rel), text).expect("write violation file");
+    }
+    fs::write(root.join("crates/lint/unwrap_baseline.txt"), baseline).expect("write baseline");
+    root
+}
+
+fn parse_json(out: &Output) -> serde_json::Value {
+    let text = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    serde_json::from_str(&text).expect("binary emits valid JSON")
+}
+
+fn run_lint(root: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hcperf-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("spawn hcperf-lint")
+}
+
+#[test]
+fn binary_clean_workspace_exits_zero() {
+    let root = mini_workspace("clean", &[], "# empty baseline\n");
+    let out = run_lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+}
+
+#[test]
+fn binary_findings_exit_one_with_json_shape() {
+    let root = mini_workspace(
+        "dirty",
+        &[(
+            "crates/rtsim/src/bad.rs",
+            "use std::collections::HashMap;\npub fn t() { std::thread::sleep(d); }\n",
+        )],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(exit::FINDINGS), "{out:?}");
+
+    let doc = parse_json(&out);
+    assert_eq!(doc["mode"].as_str(), Some("lint"));
+    assert_eq!(doc["exit_code"].as_f64(), Some(f64::from(exit::FINDINGS)));
+    let findings = doc["findings"].as_array().expect("findings array");
+    assert_eq!(findings.len(), 2);
+    for f in findings {
+        for key in ["rule", "path", "line", "snippet", "message"] {
+            assert!(!f[key].is_null(), "finding missing {key}: {f:?}");
+        }
+    }
+    let rules: Vec<&str> = findings.iter().filter_map(|f| f["rule"].as_str()).collect();
+    assert!(rules.contains(&"unordered-iteration"), "{rules:?}");
+    assert!(rules.contains(&"wall-clock"), "{rules:?}");
+}
+
+#[test]
+fn binary_ratchet_growth_exits_two_and_shrink_passes() {
+    let unwrapping = "pub fn f(a: Option<u32>) -> u32 { a.unwrap() }\n";
+    // Baseline allows zero: one unwrap is growth.
+    let root = mini_workspace(
+        "ratchet-grow",
+        &[("crates/core/src/bad.rs", unwrapping)],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(exit::RATCHET), "{out:?}");
+    let doc = parse_json(&out);
+    let growth = doc["ratchet"]["growth"].as_array().expect("growth array");
+    assert_eq!(growth.len(), 1);
+    assert_eq!(growth[0]["path"].as_str(), Some("crates/core/src/bad.rs"));
+    assert_eq!(growth[0]["current"].as_f64(), Some(1.0));
+
+    // Baseline allows five: one unwrap is shrink, which passes.
+    let root = mini_workspace(
+        "ratchet-shrink",
+        &[("crates/core/src/bad.rs", unwrapping)],
+        "5\tcrates/core/src/bad.rs\n",
+    );
+    let out = run_lint(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let doc = parse_json(&out);
+    let shrink = doc["ratchet"]["shrink"].as_array().expect("shrink array");
+    assert_eq!(shrink.len(), 1);
+    assert_eq!(shrink[0]["baseline"].as_f64(), Some(5.0));
+}
+
+#[test]
+fn binary_missing_baseline_is_usage_error() {
+    let root = mini_workspace("no-baseline", &[], "");
+    fs::remove_file(root.join("crates/lint/unwrap_baseline.txt")).expect("remove baseline");
+    let out = run_lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(exit::USAGE), "{out:?}");
+}
+
+#[test]
+fn binary_update_baseline_round_trips() {
+    let root = mini_workspace(
+        "update",
+        &[(
+            "crates/vehicle/src/two.rs",
+            "pub fn f(a: Option<u32>) -> u32 { a.unwrap() + a.expect(\"x\") }\n",
+        )],
+        "# stale\n",
+    );
+    let out = run_lint(&root, &["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let baseline =
+        fs::read_to_string(root.join("crates/lint/unwrap_baseline.txt")).expect("baseline exists");
+    assert!(
+        baseline.contains("2\tcrates/vehicle/src/two.rs"),
+        "{baseline}"
+    );
+    // And the freshly recorded state now passes.
+    let out = run_lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+}
+
+#[test]
+fn binary_rejects_unknown_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hcperf-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn hcperf-lint");
+    assert_eq!(out.status.code(), Some(exit::USAGE));
+}
+
+// ---------------------------------------------------------------------------
+// The real workspace: both modes must be clean (this is the CI gate).
+// ---------------------------------------------------------------------------
+
+fn real_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_source_lint_is_clean() {
+    let out = run_lint(&real_root(), &["--json"]);
+    let doc = parse_json(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(exit::CLEAN),
+        "workspace must lint clean; findings: {:?}",
+        doc["findings"]
+    );
+    // The four reviewed float sentinels stay waived, not silently dropped.
+    let waived = doc["waived"].as_array().expect("waived array");
+    assert!(waived.len() >= 4, "{waived:?}");
+}
+
+#[test]
+fn real_workspace_schedulability_audit_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hcperf-lint"))
+        .args(["--schedulability", "--json"])
+        .output()
+        .expect("spawn hcperf-lint");
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let doc = parse_json(&out);
+    let targets = doc["targets"].as_array().expect("targets array");
+    assert_eq!(targets.len(), 7, "two graphs + five scenario presets");
+    for t in targets {
+        assert_eq!(t["ok"].as_bool(), Some(true), "{t:?}");
+        assert!(t["gamma_max"].as_f64().is_some(), "{t:?}");
+    }
+}

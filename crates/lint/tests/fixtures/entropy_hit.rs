@@ -1,0 +1,12 @@
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn seeded() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn hasher() -> std::collections::hash_map::RandomState {
+    Default::default()
+}

@@ -1,0 +1,5 @@
+pub fn roll() -> u64 {
+    // hcperf-lint: allow(entropy): fixture demonstrating a reasoned exemption
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+pub fn checks(x: f64, t: SimTime) -> bool {
+    let a = x == 0.0;
+    let b = x != 1.5e-3;
+    let c = t.as_secs() == x;
+    a || b || c
+}

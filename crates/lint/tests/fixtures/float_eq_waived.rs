@@ -1,0 +1,4 @@
+pub fn sentinel(x: f64) -> bool {
+    // hcperf-lint: allow(float-eq): zero is a stored sentinel, never computed
+    x == 0.0
+}

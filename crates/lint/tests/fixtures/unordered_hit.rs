@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn collect(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut seen = HashSet::new();
+    let mut out = HashMap::new();
+    for &x in xs {
+        if seen.insert(x) {
+            out.insert(x, x);
+        }
+    }
+    out
+}

@@ -1,0 +1,5 @@
+pub fn lookup_only(keys: &[u32]) -> usize {
+    // hcperf-lint: allow(unordered-iteration): membership probe only, never iterated
+    let set: std::collections::HashSet<u32> = keys.iter().copied().collect();
+    set.len()
+}

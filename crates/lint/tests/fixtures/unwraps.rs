@@ -1,0 +1,19 @@
+pub fn three(a: Option<u32>, b: Option<u32>) -> u32 {
+    let x = a.unwrap();
+    let y = b.expect("fixture");
+    let z = a.unwrap();
+    x + y + z
+}
+
+pub fn waived(a: Option<u32>) -> u32 {
+    // hcperf-lint: allow(unwrap-ratchet): infallible by the fixture's construction
+    a.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_do_not_count() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+pub fn f(x: f64) -> bool {
+    // hcperf-lint: allow(float-eq)
+    x == 0.0
+}

@@ -1,0 +1,13 @@
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,7 @@
+// hcperf-lint: allow(wall-clock): fixture exercising a justified waiver
+use std::time::Instant;
+
+pub fn stamp_millis() -> u128 {
+    // hcperf-lint: allow(wall-clock): progress display only, never feeds simulation state
+    Instant::now().elapsed().as_millis()
+}

@@ -2,6 +2,11 @@
 //!
 //! Events are delivered in non-decreasing time order; ties are broken by
 //! insertion sequence so the simulation is fully deterministic.
+//!
+//! Time comparison goes through [`SimTime`]'s `Ord`, which is implemented
+//! with [`f64::total_cmp`] — a *total* order, so no
+//! `partial_cmp().unwrap()` appears anywhere on this path and two times
+//! that differ only in their last ulp still order reproducibly.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -170,6 +175,42 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    /// Pins the queue's tie-break contract: same-time events of *different*
+    /// kinds pop in exact insertion order, and times separated by one ulp
+    /// (`0.1 + 0.2` vs the `0.3` literal) order by `f64::total_cmp`, never
+    /// by an epsilon comparison.
+    #[test]
+    fn tie_break_order_is_pinned() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2.0);
+        q.push(t, EventKind::ExpiryCheck { job: JobId::new(7) });
+        q.push(t, EventKind::JobCompleted { processor: 0 });
+        q.push(t, release(1));
+        q.push(t, EventKind::OutputReady { job: JobId::new(8) });
+        q.push(t, EventKind::JobCompleted { processor: 1 });
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::ExpiryCheck { job: JobId::new(7) },
+                EventKind::JobCompleted { processor: 0 },
+                release(1),
+                EventKind::OutputReady { job: JobId::new(8) },
+                EventKind::JobCompleted { processor: 1 },
+            ],
+        );
+
+        // One-ulp separation: 0.1 + 0.2 > 0.3 in f64. total_cmp must order
+        // them, not collapse them into a tie.
+        let lo = SimTime::from_secs(0.3);
+        let hi = SimTime::from_secs(0.1 + 0.2);
+        assert_ne!(lo, hi);
+        q.push(hi, release(99));
+        q.push(lo, release(42));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![6, 5], "0.3 pops before 0.1 + 0.2");
     }
 
     #[test]

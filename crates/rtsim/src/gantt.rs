@@ -9,7 +9,7 @@
 //! p1 |Dddddd    Ee |
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use hcperf_taskgraph::{SimTime, TaskGraph, TaskId};
@@ -56,7 +56,7 @@ pub struct GanttSlot {
 /// ```
 #[must_use]
 pub fn slots(trace: &Trace) -> Vec<GanttSlot> {
-    let mut open: HashMap<JobId, usize> = HashMap::new();
+    let mut open: BTreeMap<JobId, usize> = BTreeMap::new();
     let mut out: Vec<GanttSlot> = Vec::new();
     for event in trace.events() {
         match *event {

@@ -37,7 +37,7 @@
 //! pinned ready jobs plus a count of unpinned ones — so processors with no
 //! eligible work are skipped without scanning the queue.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use hcperf_taskgraph::{ExecContext, LoadProfile, Rate, SimSpan, SimTime, TaskGraph, TaskId};
@@ -203,8 +203,8 @@ pub struct Sim<S> {
     /// carries `cycles[task] - 1`.
     cycles: Vec<u64>,
     last_success: Vec<Option<SimTime>>,
-    join_counts: HashMap<(usize, u64), usize>,
-    pending_outputs: HashMap<JobId, Job>,
+    join_counts: BTreeMap<(usize, u64), usize>,
+    pending_outputs: BTreeMap<JobId, Job>,
     pipeline_cycle: u64,
     next_job: u64,
     stats: SimStats,
@@ -275,8 +275,8 @@ impl<S: Scheduler> Sim<S> {
             scratch_remaining: Vec::with_capacity(config.processors),
             cycles: vec![0; n],
             last_success: vec![None; n],
-            join_counts: HashMap::new(),
-            pending_outputs: HashMap::new(),
+            join_counts: BTreeMap::new(),
+            pending_outputs: BTreeMap::new(),
             pipeline_cycle: 0,
             next_job: 0,
             ready: Vec::new(),

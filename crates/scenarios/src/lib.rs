@@ -32,9 +32,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod car_following;
 pub mod lane_keeping;
 pub mod metrics;

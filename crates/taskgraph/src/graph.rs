@@ -9,7 +9,7 @@
 //! Graphs are built with [`TaskGraphBuilder`], which rejects cycles,
 //! duplicate edges, dangling endpoints and duplicate task names.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -396,7 +396,7 @@ impl TaskGraphBuilder {
         if self.tasks.is_empty() {
             return Err(GraphError::Empty);
         }
-        let mut names: HashMap<&str, usize> = HashMap::new();
+        let mut names: BTreeMap<&str, usize> = BTreeMap::new();
         for t in &self.tasks {
             if names.insert(t.name(), 1).is_some() {
                 return Err(GraphError::DuplicateName(t.name().to_owned()));

@@ -31,9 +31,6 @@
 //! # Ok::<(), hcperf_taskgraph::GraphError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod exec;
 pub mod graph;
 pub mod graphs;

@@ -28,9 +28,6 @@
 //! car.step(accel, 0.05);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod follow;
 pub mod lateral;
 pub mod lead;

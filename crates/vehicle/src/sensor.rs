@@ -58,6 +58,7 @@ impl NoisySensor {
 
     /// Measures `truth` with additive Gaussian noise.
     pub fn measure(&mut self, truth: f64) -> f64 {
+        // hcperf-lint: allow(float-eq): σ = 0 is the configured noise-free mode, never a computed value
         if self.std_dev == 0.0 {
             return truth;
         }

@@ -81,6 +81,7 @@ impl OvalTrack {
     /// Returns `true` if arc position `s` lies inside a turn.
     #[must_use]
     pub fn in_turn(&self, s: f64) -> bool {
+        // hcperf-lint: allow(float-eq): curvature is exactly 0.0 on straights by construction of the oval
         self.curvature(s) != 0.0
     }
 }

@@ -21,8 +21,6 @@
 //! assert_eq!(Scheme::all().len(), 5);
 //! ```
 
-#![warn(missing_docs)]
-
 pub use hcperf as core;
 pub use hcperf_control as control;
 pub use hcperf_harness as harness;

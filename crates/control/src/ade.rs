@@ -136,7 +136,9 @@ impl AlgebraicDifferentiator {
         self.last_estimate = 0.0;
     }
 
-    /// Evaluates Eq. 6 over the current (possibly partial) window.
+    /// Evaluates Eq. 6 over the current (possibly partial) window; the
+    /// closed-form per-interval sum below is the discrete quadrature of
+    /// that integral (Eq. 7).
     ///
     /// The integrand is the product of the linear weight `(T − 2τ)` and the
     /// measured signal. Treating the signal as piecewise linear between
@@ -188,6 +190,8 @@ mod tests {
 
     #[test]
     fn linear_ramp_recovers_slope() {
+        // Eq. 6–7: the quadrature is exact for ramps, so the window-average
+        // derivative comes back as the true slope.
         let mut ade = AlgebraicDifferentiator::new(0.01, 25).unwrap();
         let d = feed(&mut ade, |t| -3.5 * t + 1.0, 100);
         assert!((d + 3.5).abs() < 1e-6, "slope estimate {d}");

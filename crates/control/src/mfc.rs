@@ -143,7 +143,9 @@ impl ModelFreeControl {
     /// Advances one control period with the newly measured error `E(t)` and
     /// returns the command `u(t)`.
     ///
-    /// Implements Eq. 5 then Eq. 3 of the paper.
+    /// Implements Eq. 5 then Eq. 3 of the paper. With `F̂ ≈ F` the closed
+    /// loop behaves as `Ė = K·E` (Eq. 4), and the discrete per-period
+    /// command update it induces is `u̇ ≈ K·E/(α·Ts)` (Eq. 8).
     pub fn step(&mut self, error: f64) -> f64 {
         let e_dot = self.ade.push(error);
         // Eq. 5: F̂(t) = Ė̂(t) − α·u(t − Ts)
@@ -220,6 +222,8 @@ mod tests {
 
     #[test]
     fn zero_error_keeps_u_stable() {
+        // Eq. 2 / Eq. 5: with E ≡ 0 the ultra-local model gives F̂ = 0 and
+        // the command stays at the origin.
         let mut c = mfc();
         let mut u = 0.0;
         for _ in 0..100 {
@@ -230,8 +234,9 @@ mod tests {
 
     #[test]
     fn positive_error_raises_u() {
-        // Paper remark: with α < 0, a large positive tracking error should
-        // push u(t) upward to prioritize control tasks.
+        // Eq. 3 / Eq. 4: with α < 0, a large positive tracking error should
+        // push u(t) upward (the closed loop contracts as Ė = K·E), which
+        // prioritizes control tasks.
         let mut c = mfc();
         let mut u = 0.0;
         for _ in 0..50 {

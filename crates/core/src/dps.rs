@@ -178,6 +178,7 @@ impl GammaScratch {
     /// Ranks the queue for a probe at `gamma`. The first ranking of a
     /// recompute does a full sort; later probes repair the previous order
     /// with one insertion pass, `O(n + inversions)`.
+    // hcperf-lint: hot-path-root
     fn rank(&mut self, gamma: f64, full: bool) {
         for i in 0..self.key.len() {
             self.key[i] = gamma * self.prio[i] + self.laxity[i];
@@ -210,6 +211,7 @@ impl GammaScratch {
 
     /// The Eq. 11 feasibility walk over the current ranking: every
     /// non-skipped job must be able to start early enough.
+    // hcperf-lint: hot-path-root
     fn feasible(&self, now: f64, base: f64, n_p: f64) -> bool {
         let mut higher_work = 0.0;
         for &i in &self.order {
@@ -329,6 +331,7 @@ impl DynamicPriorityScheduler {
 
     /// `γ_max` search against a cached snapshot of the queue (see the
     /// module docs). Returns `None` when even `γ = 0` is infeasible.
+    // hcperf-lint: hot-path-root
     fn gamma_max_cached(&mut self, ctx: &SchedContext<'_>) -> Option<f64> {
         let config = self.config;
         if ctx.queue.is_empty() {
@@ -489,6 +492,7 @@ pub mod reference {
 
     /// Finds `γ_max` per the configured strategy, re-sorting on every
     /// probe. Returns `None` when even `γ = 0` is infeasible (overload).
+    // hcperf-lint: hot-path-root
     #[must_use]
     pub fn gamma_max(ctx: &SchedContext<'_>, config: &DpsConfig) -> Option<f64> {
         if ctx.queue.is_empty() {
@@ -659,7 +663,9 @@ mod tests {
 
     #[test]
     fn gamma_zero_orders_by_laxity() {
-        // Task 3 (lowest static priority) has the tightest deadline.
+        // Eq. 9 / Eq. 10: at γ = 0 the dynamic priority P_i = γ·p_i + d_i
+        // reduces to the scheduling laxity d_i = D_i − c_i, so task 3
+        // (lowest static priority) wins on its tightest deadline.
         let queue = vec![job(0, 0, 0.0, 100.0), job(1, 3, 0.0, 20.0)];
         let fx = Fixture::new(queue, 5.0, 2);
         let mut dps = DynamicPriorityScheduler::new(DpsConfig::default());

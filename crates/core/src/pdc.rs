@@ -104,6 +104,7 @@ impl PerformanceDirectedController {
     /// The error may be signed; its magnitude drives the loop. Inside the
     /// deadband `u` decays geometrically toward zero so that the scheduler
     /// reverts to deadline-driven dispatch when the vehicle is on target.
+    // hcperf-lint: hot-path-root
     pub fn step(&mut self, tracking_error: f64) -> f64 {
         let magnitude = tracking_error.abs();
         if magnitude < self.config.deadband {

@@ -1,0 +1,511 @@
+//! Hot-path purity and panic-surface analysis.
+//!
+//! HCPerf's dispatch/γ-search path must stay allocation-free (PR 1 made it
+//! so by hand) and keep a minimal panic surface. This pass enforces both
+//! *structurally*: functions tagged `// hcperf-lint: hot-path-root` seed a
+//! reachability query over the [`crate::callgraph`] call graph, and every
+//! function in the reachable set is scanned for
+//!
+//! * **[`Rule::HotPathAlloc`]** — allocation constructs: `vec!`,
+//!   `Vec::new`, `Box::new`, `to_vec`, `collect`, `format!`,
+//!   `String::from`, `.clone()`;
+//! * **[`Rule::HotPathPanic`]** — `unwrap`/`expect`/`panic!`-family macros
+//!   and slice indexing (`x[i]`), each a potential panic.
+//!
+//! Both rules ratchet against [`BASELINE_PATH`], a `rule<TAB>count<TAB>path`
+//! file that may only shrink — exactly like the unwrap ratchet, but
+//! per-rule. The call graph over-approximates (see `callgraph` docs), so
+//! the baseline also absorbs same-named functions that are not truly on a
+//! hot path; individual sites can be excused with the ordinary
+//! `// hcperf-lint: allow(hot-path-alloc): <reason>` waiver syntax.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::callgraph::CallGraph;
+use crate::parse::{parse_file, LineIndex, ParsedFile};
+use crate::report::{exit, Finding, Rule};
+use crate::source::Waiver;
+use crate::workspace::{load_sources, SourceFile, DETERMINISTIC_CRATES};
+
+/// Workspace-relative path of the hot-path ratchet baseline.
+pub const BASELINE_PATH: &str = "crates/lint/hotpath_baseline.txt";
+
+const ALLOC_PATTERNS: [&str; 8] = [
+    "vec!",
+    "Vec::new",
+    "Box::new",
+    "to_vec",
+    "collect",
+    "format!",
+    "String::from",
+    ".clone(",
+];
+
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// One `(rule, path)` row's comparison against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleDelta {
+    /// Rule name (`hot-path-alloc` / `hot-path-panic`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Baseline count (0 when the row is absent).
+    pub baseline: usize,
+    /// Measured count.
+    pub current: usize,
+}
+
+/// Outcome of the per-rule ratchet comparison.
+#[derive(Debug, Default)]
+pub struct RuleRatchet {
+    /// Rows whose count grew past the baseline (fails the run).
+    pub growth: Vec<RuleDelta>,
+    /// Rows whose count shrank (passes; refresh via `--update-baseline`).
+    pub shrink: Vec<RuleDelta>,
+    /// Sum of measured counts.
+    pub current_total: usize,
+    /// Sum of baseline counts.
+    pub baseline_total: usize,
+}
+
+impl RuleRatchet {
+    /// True when no row grew.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.growth.is_empty()
+    }
+}
+
+/// Result of the hot-path analysis.
+#[derive(Debug)]
+pub struct HotPathReport {
+    /// Qualified names of the declared roots, in graph order.
+    pub roots: Vec<String>,
+    /// Qualified names of every reachable function, in graph order.
+    pub reachable: Vec<String>,
+    /// Violation sites in grown `(rule, path)` rows, with exact lines.
+    pub findings: Vec<Finding>,
+    /// Sites suppressed by `allow(hot-path-…)` waivers.
+    pub waived: Vec<Finding>,
+    /// Unwaived site counts per `(rule, path)`.
+    pub counts: BTreeMap<(String, String), usize>,
+    /// Ratchet comparison; `None` when regenerating the baseline.
+    pub ratchet: Option<RuleRatchet>,
+    /// Number of `.rs` files parsed into the call graph.
+    pub files_scanned: usize,
+}
+
+impl HotPathReport {
+    /// The process exit code this report maps to: growth is ratchet
+    /// failure, everything else is clean (sites within baseline pass).
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if self.ratchet.as_ref().is_some_and(|r| !r.ok()) {
+            exit::RATCHET
+        } else {
+            exit::CLEAN
+        }
+    }
+}
+
+/// Parses the `rule<TAB>count<TAB>path` baseline format.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed row.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<(String, String), usize>, String> {
+    let mut map = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(rule), Some(count), Some(path)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "hotpath baseline line {}: expected `rule<TAB>count<TAB>path`",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("hotpath baseline line {}: bad count `{count}`", idx + 1))?;
+        map.insert((rule.trim().to_owned(), path.trim().to_owned()), count);
+    }
+    Ok(map)
+}
+
+/// Renders the baseline file from measured counts (zero rows omitted).
+#[must_use]
+pub fn render_baseline(counts: &BTreeMap<(String, String), usize>) -> String {
+    let mut out = String::from(
+        "# hcperf-lint hot-path ratchet baseline: allocation and panic-capable\n\
+         # sites in functions reachable from `hot-path-root` markers. Rows are\n\
+         # `rule<TAB>count<TAB>path` and may only shrink; regenerate with\n\
+         # `cargo run -p hcperf-lint -- --hot-path --update-baseline`.\n",
+    );
+    for ((rule, path), count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{rule}\t{count}\t{path}\n"));
+        }
+    }
+    out
+}
+
+/// Compares measured counts against the baseline.
+#[must_use]
+pub fn compare(
+    counts: &BTreeMap<(String, String), usize>,
+    baseline: &BTreeMap<(String, String), usize>,
+) -> RuleRatchet {
+    let mut report = RuleRatchet::default();
+    for (key, &current) in counts {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        report.current_total += current;
+        let delta = RuleDelta {
+            rule: key.0.clone(),
+            path: key.1.clone(),
+            baseline: base,
+            current,
+        };
+        if current > base {
+            report.growth.push(delta);
+        } else if current < base {
+            report.shrink.push(delta);
+        }
+    }
+    for (key, &base) in baseline {
+        report.baseline_total += base;
+        if !counts.contains_key(key) && base > 0 {
+            report.shrink.push(RuleDelta {
+                rule: key.0.clone(),
+                path: key.1.clone(),
+                baseline: base,
+                current: 0,
+            });
+        }
+    }
+    report
+        .shrink
+        .sort_by(|a, b| (&a.path, &a.rule).cmp(&(&b.path, &b.rule)));
+    report
+}
+
+/// One violation site before waiver/baseline classification.
+struct Site {
+    rule: Rule,
+    line: usize,
+    construct: String,
+    fn_name: String,
+}
+
+/// Scans one function body (a byte range of masked text) for violation
+/// sites.
+fn scan_body(masked: &str, body: (usize, usize), lines: &LineIndex, fn_name: &str) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let slice = &masked[body.0..body.1];
+    let bytes = masked.as_bytes();
+    for (rule, patterns) in [
+        (Rule::HotPathAlloc, &ALLOC_PATTERNS[..]),
+        (Rule::HotPathPanic, &PANIC_PATTERNS[..]),
+    ] {
+        for pat in patterns {
+            let mut from = 0;
+            while let Some(p) = slice[from..].find(pat).map(|p| from + p) {
+                from = p + pat.len();
+                let at = body.0 + p;
+                let first = pat.as_bytes()[0];
+                let left_ok = !is_ident_byte(first) || at == 0 || !is_ident_byte(bytes[at - 1]);
+                let last = pat.as_bytes()[pat.len() - 1];
+                let right_ok = !is_ident_byte(last)
+                    || bytes.get(at + pat.len()).is_none_or(|&b| !is_ident_byte(b));
+                if left_ok && right_ok {
+                    sites.push(Site {
+                        rule,
+                        line: lines.line_of(at),
+                        construct: (*pat).trim_end_matches('(').to_owned(),
+                        fn_name: fn_name.to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    // Slice indexing: `[` whose previous non-space byte ends an expression
+    // (identifier, `)`, or `]`). `#[attr]`, `vec![…]`, `&[T]` types and
+    // array literals all fail that test.
+    for (off, b) in slice.bytes().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let at = body.0 + off;
+        let prev = bytes[..at].iter().rev().find(|b| !b.is_ascii_whitespace());
+        if prev.is_some_and(|&p| is_ident_byte(p) || p == b')' || p == b']') {
+            sites.push(Site {
+                rule: Rule::HotPathPanic,
+                line: lines.line_of(at),
+                construct: "slice-indexing".to_owned(),
+                fn_name: fn_name.to_owned(),
+            });
+        }
+    }
+    sites
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn waiver_covers(waivers: &[Waiver], rule: Rule, line: usize) -> Option<String> {
+    waivers
+        .iter()
+        .find(|w| w.rule == Some(rule) && (w.line == line || w.line + 1 == line))
+        .map(|w| w.reason.clone())
+}
+
+/// Runs the hot-path analysis over the workspace rooted at `root`.
+///
+/// When `against_baseline` is true, per-`(rule, path)` counts are compared
+/// to [`BASELINE_PATH`] and growth produces findings with exact lines; a
+/// missing baseline is an error so CI cannot silently skip the gate.
+///
+/// # Errors
+///
+/// Propagates I/O failures and baseline-format problems.
+pub fn run_hot_path(root: &Path, against_baseline: bool) -> io::Result<HotPathReport> {
+    let sources = load_sources(root, &DETERMINISTIC_CRATES, true)?;
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|s| parse_file(&s.rel, &s.masked.masked, &s.masked.hot_path_roots))
+        .collect();
+    let graph = CallGraph::build(&parsed);
+    let reachable_idx = graph.reachable_from_roots();
+
+    let by_rel: BTreeMap<&str, &SourceFile> = sources.iter().map(|s| (s.rel.as_str(), s)).collect();
+    let mut line_indexes: BTreeMap<&str, LineIndex> = BTreeMap::new();
+
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut all_sites: Vec<(String, Site)> = Vec::new();
+    let mut waived = Vec::new();
+    for &idx in &reachable_idx {
+        let node = &graph.nodes[idx];
+        let Some(body) = node.body else { continue };
+        let src = by_rel[node.path.as_str()];
+        let lines = line_indexes
+            .entry(src.rel.as_str())
+            .or_insert_with(|| LineIndex::new(&src.masked.masked));
+        for site in scan_body(&src.masked.masked, body, lines, &node.qualified()) {
+            match waiver_covers(&src.masked.waivers, site.rule, site.line) {
+                Some(reason) => waived.push(site_finding(&site, &node.path, src, Some(reason))),
+                None => {
+                    *counts
+                        .entry((site.rule.name().to_owned(), node.path.clone()))
+                        .or_insert(0) += 1;
+                    all_sites.push((node.path.clone(), site));
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut ratchet = None;
+    if against_baseline {
+        let path = root.join(BASELINE_PATH);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!(
+                    "cannot read hot-path baseline {}: {e}; bootstrap with --hot-path --update-baseline",
+                    path.display()
+                ),
+            )
+        })?;
+        let baseline =
+            parse_baseline(&text).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        let cmp = compare(&counts, &baseline);
+        // Every unwaived site in a grown row becomes a finding: the exact
+        // lines point the author at the sites, new and baselined alike.
+        for g in &cmp.growth {
+            for (rel, site) in &all_sites {
+                if site.rule.name() == g.rule && rel == &g.path {
+                    findings.push(site_finding(site, rel, by_rel[rel.as_str()], None));
+                }
+            }
+        }
+        findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        ratchet = Some(cmp);
+    }
+
+    let roots = graph
+        .roots()
+        .iter()
+        .map(|&i| graph.nodes[i].qualified())
+        .collect();
+    let reachable = reachable_idx
+        .iter()
+        .map(|&i| graph.nodes[i].qualified())
+        .collect();
+    Ok(HotPathReport {
+        roots,
+        reachable,
+        findings,
+        waived,
+        counts,
+        ratchet,
+        files_scanned: sources.len(),
+    })
+}
+
+fn site_finding(site: &Site, rel: &str, src: &SourceFile, waived: Option<String>) -> Finding {
+    let snippet = src
+        .raw
+        .lines()
+        .nth(site.line - 1)
+        .map_or("", str::trim)
+        .to_owned();
+    let what = match site.rule {
+        Rule::HotPathAlloc => "allocates",
+        _ => "can panic",
+    };
+    Finding {
+        rule: site.rule,
+        path: rel.to_owned(),
+        line: site.line,
+        snippet,
+        message: format!(
+            "`{}` {} in hot-path-reachable fn `{}`; hot paths must stay pure — \
+             restructure, or waive with `hcperf-lint: allow({})` and a reason",
+            site.construct,
+            what,
+            site.fn_name,
+            site.rule.name(),
+        ),
+        waived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::mask;
+
+    fn sites(src: &str) -> Vec<(Rule, usize, String)> {
+        let m = mask(src);
+        let parsed = parse_file("t.rs", &m.masked, &m.hot_path_roots);
+        let lines = LineIndex::new(&m.masked);
+        let mut out = Vec::new();
+        for item in &parsed.fns {
+            if let Some(body) = item.body {
+                for s in scan_body(&m.masked, body, &lines, &item.name) {
+                    out.push((s.rule, s.line, s.construct));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn alloc_patterns_fire_with_exact_lines() {
+        let src = "\
+fn f() {
+    let v = vec![1, 2];
+    let b = Vec::new();
+    let c = xs.iter().collect::<Vec<_>>();
+    let d = buf.to_vec();
+}
+";
+        let got = sites(src);
+        let mut allocs: Vec<(usize, &str)> = got
+            .iter()
+            .filter(|(r, _, _)| *r == Rule::HotPathAlloc)
+            .map(|(_, l, c)| (*l, c.as_str()))
+            .collect();
+        allocs.sort_unstable();
+        assert_eq!(
+            allocs,
+            vec![(2, "vec!"), (3, "Vec::new"), (4, "collect"), (5, "to_vec")]
+        );
+    }
+
+    #[test]
+    fn panic_patterns_and_slice_indexing_fire() {
+        let src = "\
+fn f(xs: &[u32], i: usize) -> u32 {
+    let a = xs[i];
+    let b = opt.unwrap();
+    panic!(\"boom\");
+}
+";
+        let got = sites(src);
+        let panics: Vec<(usize, &str)> = got
+            .iter()
+            .filter(|(r, _, _)| *r == Rule::HotPathPanic)
+            .map(|(_, l, c)| (*l, c.as_str()))
+            .collect();
+        assert!(panics.contains(&(2, "slice-indexing")), "{panics:?}");
+        assert!(panics.contains(&(3, ".unwrap()")), "{panics:?}");
+        assert!(panics.contains(&(4, "panic!")), "{panics:?}");
+    }
+
+    #[test]
+    fn attributes_types_and_macros_are_not_slice_indexing() {
+        let src = "\
+fn f(xs: &[u32]) -> [u8; 4] {
+    #[allow(unused)]
+    let v = vec![0u8; 4];
+    let arr: [u8; 4] = [0; 4];
+    arr
+}
+";
+        let got = sites(src);
+        let indexing = got.iter().filter(|(_, _, c)| c == "slice-indexing").count();
+        assert_eq!(indexing, 0, "{got:?}");
+    }
+
+    #[test]
+    fn collect_respects_word_boundaries() {
+        let got = sites("fn f() { recollect(); let collected = 1; }");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn ruled_baseline_round_trips_and_compares() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("hot-path-alloc".to_owned(), "a.rs".to_owned()), 3);
+        counts.insert(("hot-path-panic".to_owned(), "a.rs".to_owned()), 1);
+        let text = render_baseline(&counts);
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed, counts);
+
+        let mut grown = counts.clone();
+        grown.insert(("hot-path-alloc".to_owned(), "a.rs".to_owned()), 4);
+        let cmp = compare(&grown, &counts);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.growth.len(), 1);
+        assert_eq!(cmp.growth[0].current, 4);
+
+        let mut shrunk = counts.clone();
+        shrunk.remove(&("hot-path-panic".to_owned(), "a.rs".to_owned()));
+        let cmp = compare(&shrunk, &counts);
+        assert!(cmp.ok());
+        assert_eq!(cmp.shrink.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_baseline() {
+        assert!(parse_baseline("nonsense").is_err());
+        assert!(parse_baseline("hot-path-alloc\tx\ta.rs").is_err());
+        assert!(parse_baseline("# c\nhot-path-alloc\t3\ta.rs\n").is_ok());
+    }
+}

@@ -21,6 +21,22 @@
 //!    a non-empty feasible γ range on the configured core count, decided
 //!    by the paper-literal `dps::reference` oracle in strict mode.
 //!
+//! 3. **Hot-path purity** (`--hot-path`) — a token-tree pass ([`parse`])
+//!    extracts every `fn`, impl block and call site from the masked
+//!    sources; [`callgraph`] resolves calls with over-approximating
+//!    heuristics (receiver type when inferable, else name + arity) and
+//!    computes the set reachable from functions annotated
+//!    `// hcperf-lint: hot-path-root`. Inside that set, allocation
+//!    constructs ([`report::Rule::HotPathAlloc`]) and panic sources
+//!    ([`report::Rule::HotPathPanic`]) are ratcheted per rule against
+//!    `crates/lint/hotpath_baseline.txt`.
+//!
+//! 4. **Eq. coverage** (`--eq-coverage`) — `Eq. N` doc tags are harvested
+//!    from comments ([`eqcov`]); each of the paper's Eq. 2–12 must have at
+//!    least one non-test implementation site *and* one tagged test, and
+//!    tags naming undefined equations are orphans
+//!    ([`report::Rule::EqCoverage`]).
+//!
 //! Exit codes are distinct per failure class — see [`report::exit`].
 //!
 //! # Examples
@@ -32,6 +48,10 @@
 //! assert_eq!(scan.findings.len(), 1);
 //! ```
 
+pub mod callgraph;
+pub mod eqcov;
+pub mod hotpath;
+pub mod parse;
 pub mod ratchet;
 pub mod report;
 pub mod rules;

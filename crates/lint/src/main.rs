@@ -1,31 +1,41 @@
 //! The `hcperf-lint` binary: source rules by default, `--schedulability`
-//! for the Eq. 9 / Eq. 11 audit. See the library docs for the rule set.
+//! for the Eq. 9 / Eq. 11 audit, `--hot-path` for call-graph purity, and
+//! `--eq-coverage` for the paper-equation gate. See the library docs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hcperf_lint::report::exit;
-use hcperf_lint::{ratchet, sched, workspace};
+use hcperf_lint::report::{exit, finding_json};
+use hcperf_lint::{eqcov, hotpath, ratchet, sched, workspace};
 
 const USAGE: &str = "\
 hcperf-lint — determinism & schedulability gate for the HCPerf workspace
 
 USAGE:
     hcperf-lint [--json] [--root <path>] [--update-baseline]
+    hcperf-lint --hot-path [--eq-coverage] [--json] [--update-baseline]
+    hcperf-lint --eq-coverage [--hot-path] [--json]
     hcperf-lint --schedulability [--json]
 
 MODES:
     (default)          scan deterministic crates for wall-clock access,
                        HashMap/HashSet, ambient entropy, float ==/!=, and
                        check the unwrap()/expect() ratchet baseline
+    --hot-path         build the workspace call graph, compute the set
+                       reachable from `// hcperf-lint: hot-path-root`
+                       markers, and ratchet allocation / panic sites in it
+                       against crates/lint/hotpath_baseline.txt
+    --eq-coverage      require an implementation tag and a test tag for
+                       each of the paper's Eq. 2-12; flag orphaned tags
     --schedulability   audit every registered task graph and scenario
                        preset: Eq. 9 deadlines and Eq. 11 feasible γ range
 
 OPTIONS:
     --json             machine-readable output
     --root <path>      workspace root (default: inferred from cargo)
-    --update-baseline  rewrite crates/lint/unwrap_baseline.txt from the
-                       current counts instead of comparing against it
+    --update-baseline  rewrite the active mode's ratchet baseline
+                       (unwrap_baseline.txt, or hotpath_baseline.txt with
+                       --hot-path) from the current counts
 
 EXIT CODES:
     0 clean   1 findings   2 ratchet growth   3 infeasible target   4 usage
@@ -34,6 +44,8 @@ EXIT CODES:
 struct Args {
     json: bool,
     schedulability: bool,
+    hot_path: bool,
+    eq_coverage: bool,
     update_baseline: bool,
     root: Option<PathBuf>,
 }
@@ -42,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         schedulability: false,
+        hot_path: false,
+        eq_coverage: false,
         update_baseline: false,
         root: None,
     };
@@ -50,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--json" => args.json = true,
             "--schedulability" => args.schedulability = true,
+            "--hot-path" => args.hot_path = true,
+            "--eq-coverage" => args.eq_coverage = true,
             "--update-baseline" => args.update_baseline = true,
             "--root" => {
                 let v = it.next().ok_or("--root requires a path")?;
@@ -59,8 +75,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.schedulability && args.update_baseline {
-        return Err("--update-baseline only applies to the source mode".to_owned());
+    if args.schedulability && (args.update_baseline || args.hot_path || args.eq_coverage) {
+        return Err("--schedulability cannot combine with other modes".to_owned());
+    }
+    if args.update_baseline && args.eq_coverage && !args.hot_path {
+        return Err("--eq-coverage has no baseline to update".to_owned());
     }
     Ok(args)
 }
@@ -104,6 +123,11 @@ fn main() -> ExitCode {
     }
 
     let root = resolve_root(&args);
+
+    if args.hot_path || args.eq_coverage {
+        return run_analysis(&args, &root);
+    }
+
     let report = match workspace::run_source_lint(&root, !args.update_baseline) {
         Ok(r) => r,
         Err(e) => {
@@ -137,6 +161,224 @@ fn main() -> ExitCode {
         print!("{}", report.render_human());
     }
     code(report.exit_code())
+}
+
+/// Runs `--hot-path` and/or `--eq-coverage` and renders the combined
+/// report. Eq.-coverage findings dominate the exit code (`FINDINGS`);
+/// otherwise hot-path ratchet growth yields `RATCHET`.
+fn run_analysis(args: &Args, root: &std::path::Path) -> ExitCode {
+    let hot = if args.hot_path {
+        match hotpath::run_hot_path(root, !args.update_baseline) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("hcperf-lint: {e}");
+                return code(exit::USAGE);
+            }
+        }
+    } else {
+        None
+    };
+    let eq = if args.eq_coverage {
+        match eqcov::run_eq_coverage(root) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("hcperf-lint: {e}");
+                return code(exit::USAGE);
+            }
+        }
+    } else {
+        None
+    };
+
+    if args.update_baseline {
+        // Only reachable with --hot-path (parse_args rejects the rest).
+        let report = hot.as_ref().expect("--update-baseline implies --hot-path");
+        let path = root.join(hotpath::BASELINE_PATH);
+        let text = hotpath::render_baseline(&report.counts);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
+            return code(exit::USAGE);
+        }
+        println!(
+            "hcperf-lint: hot-path baseline rewritten ({} sites across {} (rule, file) rows; \
+             {} fns reachable from {} roots)",
+            report.counts.values().sum::<usize>(),
+            report.counts.values().filter(|&&c| c > 0).count(),
+            report.reachable.len(),
+            report.roots.len(),
+        );
+    }
+
+    let exit_code = combined_exit(hot.as_ref(), eq.as_ref());
+    if args.json {
+        println!(
+            "{}",
+            render_analysis_json(hot.as_ref(), eq.as_ref(), exit_code)
+        );
+    } else {
+        print!(
+            "{}",
+            render_analysis_human(hot.as_ref(), eq.as_ref(), exit_code)
+        );
+    }
+    code(exit_code)
+}
+
+fn combined_exit(hot: Option<&hotpath::HotPathReport>, eq: Option<&eqcov::EqCovReport>) -> i32 {
+    match eq.map_or(exit::CLEAN, eqcov::EqCovReport::exit_code) {
+        exit::CLEAN => hot.map_or(exit::CLEAN, hotpath::HotPathReport::exit_code),
+        failing => failing,
+    }
+}
+
+fn render_analysis_human(
+    hot: Option<&hotpath::HotPathReport>,
+    eq: Option<&eqcov::EqCovReport>,
+    exit_code: i32,
+) -> String {
+    let mut out = String::new();
+    if let Some(h) = hot {
+        for f in &h.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if let Some(r) = &h.ratchet {
+            for g in &r.growth {
+                out.push_str(&format!(
+                    "{}: [{}] {} sites, baseline allows {}\n",
+                    g.path, g.rule, g.current, g.baseline
+                ));
+            }
+            for s in &r.shrink {
+                out.push_str(&format!(
+                    "note: {} shrank to {} {} sites (baseline {}); refresh with --hot-path --update-baseline\n",
+                    s.path, s.current, s.rule, s.baseline
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "hcperf-lint --hot-path: {} roots, {} reachable fns, {} files, {} findings, {} waived\n",
+            h.roots.len(),
+            h.reachable.len(),
+            h.files_scanned,
+            h.findings.len(),
+            h.waived.len(),
+        ));
+    }
+    if let Some(e) = eq {
+        for f in &e.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        let covered = e
+            .per_eq
+            .values()
+            .filter(|c| !c.impl_sites.is_empty() && !c.test_sites.is_empty())
+            .count();
+        out.push_str(&format!(
+            "hcperf-lint --eq-coverage: {}/{} tracked equations covered, {} files, {} findings\n",
+            covered,
+            e.per_eq.len(),
+            e.files_scanned,
+            e.findings.len(),
+        ));
+    }
+    out.push_str(match exit_code {
+        exit::CLEAN => "hcperf-lint: analysis clean\n",
+        exit::RATCHET => "hcperf-lint: RATCHET GROWTH\n",
+        _ => "hcperf-lint: FAILED\n",
+    });
+    out
+}
+
+fn render_analysis_json(
+    hot: Option<&hotpath::HotPathReport>,
+    eq: Option<&eqcov::EqCovReport>,
+    exit_code: i32,
+) -> String {
+    use hcperf_lint::report::json_escape;
+
+    let mode = match (hot.is_some(), eq.is_some()) {
+        (true, true) => "hot-path+eq-coverage",
+        (true, false) => "hot-path",
+        _ => "eq-coverage",
+    };
+    let mut findings: Vec<String> = Vec::new();
+    let mut waived: Vec<String> = Vec::new();
+
+    let hot_json = hot.map_or_else(
+        || "null".to_owned(),
+        |h| {
+            findings.extend(h.findings.iter().map(finding_json));
+            waived.extend(h.waived.iter().map(finding_json));
+            let roots: Vec<String> = h
+                .roots
+                .iter()
+                .map(|r| format!("\"{}\"", json_escape(r)))
+                .collect();
+            let ratchet = h.ratchet.as_ref().map_or_else(
+                || "null".to_owned(),
+                |r| {
+                    let row = |d: &hotpath::RuleDelta| {
+                        format!(
+                            "{{\"rule\":\"{}\",\"path\":\"{}\",\"baseline\":{},\"current\":{}}}",
+                            json_escape(&d.rule),
+                            json_escape(&d.path),
+                            d.baseline,
+                            d.current
+                        )
+                    };
+                    let growth: Vec<String> = r.growth.iter().map(row).collect();
+                    let shrink: Vec<String> = r.shrink.iter().map(row).collect();
+                    format!(
+                        "{{\"baseline_total\":{},\"current_total\":{},\"growth\":[{}],\"shrink\":[{}]}}",
+                        r.baseline_total,
+                        r.current_total,
+                        growth.join(","),
+                        shrink.join(",")
+                    )
+                },
+            );
+            format!(
+                "{{\"roots\":[{}],\"reachable_fns\":{},\"files_scanned\":{},\"ratchet\":{}}}",
+                roots.join(","),
+                h.reachable.len(),
+                h.files_scanned,
+                ratchet
+            )
+        },
+    );
+
+    let eq_json = eq.map_or_else(
+        || "null".to_owned(),
+        |e| {
+            findings.extend(e.findings.iter().map(finding_json));
+            let rows: Vec<String> = e
+                .per_eq
+                .iter()
+                .map(|(eq_no, cov)| {
+                    format!(
+                        "{{\"eq\":{},\"impl_sites\":{},\"test_sites\":{},\"ok\":{}}}",
+                        eq_no,
+                        cov.impl_sites.len(),
+                        cov.test_sites.len(),
+                        !cov.impl_sites.is_empty() && !cov.test_sites.is_empty()
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"files_scanned\":{},\"equations\":[{}]}}",
+                e.files_scanned,
+                rows.join(",")
+            )
+        },
+    );
+
+    format!(
+        "{{\"mode\":\"{mode}\",\"hot_path\":{hot_json},\"eq_coverage\":{eq_json},\"findings\":[{}],\"waived\":[{}],\"exit_code\":{exit_code}}}",
+        findings.join(","),
+        waived.join(","),
+    )
 }
 
 #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]

@@ -33,17 +33,30 @@ pub enum Rule {
     UnwrapRatchet,
     /// A `hcperf-lint:` comment that does not parse as a waiver.
     WaiverSyntax,
+    /// An allocation construct (`vec!`, `Vec::new`, `collect`, …) in a
+    /// function reachable from a declared hot-path root, ratcheted against
+    /// `crates/lint/hotpath_baseline.txt`.
+    HotPathAlloc,
+    /// `unwrap`/`expect`/`panic!`/slice-indexing in the hot-path reachable
+    /// set — a stricter, separate ratchet from the workspace-wide one.
+    HotPathPanic,
+    /// A paper equation (Eq. 2–12) missing an implementation or test tag,
+    /// or an `Eq. N` tag naming an equation the paper does not define.
+    EqCoverage,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::WallClock,
         Rule::UnorderedIteration,
         Rule::Entropy,
         Rule::FloatEq,
         Rule::UnwrapRatchet,
         Rule::WaiverSyntax,
+        Rule::HotPathAlloc,
+        Rule::HotPathPanic,
+        Rule::EqCoverage,
     ];
 
     /// The kebab-case name used in diagnostics and waiver comments.
@@ -56,6 +69,9 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::UnwrapRatchet => "unwrap-ratchet",
             Rule::WaiverSyntax => "waiver-syntax",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::EqCoverage => "eq-coverage",
         }
     }
 
@@ -123,12 +139,21 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serializes a finding as a JSON object.
+/// Serializes a finding as a JSON object. Every finding — source rule,
+/// hot-path, Eq. coverage, and (via [`tagged_finding_json`]) the
+/// schedulability audit — carries the same `rule`/`severity`/`target`
+/// keys, so downstream tooling parses one schema.
 #[must_use]
 pub fn finding_json(f: &Finding) -> String {
+    let severity = if f.waived.is_some() {
+        "waived"
+    } else {
+        "error"
+    };
     let mut s = format!(
-        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"",
+        "{{\"rule\":\"{}\",\"severity\":\"{severity}\",\"target\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"",
         f.rule,
+        json_escape(&f.path),
         json_escape(&f.path),
         f.line,
         json_escape(&f.snippet),
@@ -139,6 +164,20 @@ pub fn finding_json(f: &Finding) -> String {
     }
     s.push('}');
     s
+}
+
+/// Serializes a non-source finding (no file anchor) in the shared
+/// `rule`/`severity`/`target` schema — used by the schedulability audit,
+/// whose subjects are graphs and scenario presets rather than lines.
+#[must_use]
+pub fn tagged_finding_json(rule: &str, severity: &str, target: &str, message: &str) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",\"target\":\"{}\",\"message\":\"{}\"}}",
+        json_escape(rule),
+        json_escape(severity),
+        json_escape(target),
+        json_escape(message),
+    )
 }
 
 /// Formats an `Option<f64>` as JSON (`null` when absent).

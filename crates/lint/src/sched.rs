@@ -35,7 +35,7 @@ use hcperf_scenarios::{
 use hcperf_taskgraph::graphs::{apollo_graph, motivation_graph, with_fusion_step, GraphOptions};
 use hcperf_taskgraph::{ExecContext, LoadProfile, SimSpan, SimTime, TaskGraph};
 
-use crate::report::{exit, json_escape, json_opt_f64};
+use crate::report::{exit, json_escape, json_opt_f64, tagged_finding_json};
 
 /// One graph/preset to audit.
 #[derive(Debug)]
@@ -358,6 +358,54 @@ pub fn render_human(results: &[AuditResult]) -> String {
     out
 }
 
+/// Machine-readable findings for the audit, in the same
+/// `rule`/`severity`/`target` schema as source findings: `sched-eq9`
+/// (non-positive deadline margin) and `sched-eq11` (empty feasible γ
+/// range) are errors that fail the gate; `sched-eq9-transient` (designed
+/// overload somewhere on the horizon) is informational.
+#[must_use]
+pub fn findings_json(results: &[AuditResult]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in results {
+        if r.eq9_worst.margin_ms() <= 0.0 {
+            out.push(tagged_finding_json(
+                "sched-eq9",
+                "error",
+                &r.name,
+                &format!(
+                    "Eq. 9 margin is {:.2} ms for task `{}` at the reference operating point; \
+                     deadlines must exceed worst-case execution",
+                    r.eq9_worst.margin_ms(),
+                    r.eq9_worst.task
+                ),
+            ));
+        }
+        if r.gamma_max.is_none() {
+            out.push(tagged_finding_json(
+                "sched-eq11",
+                "error",
+                &r.name,
+                &format!(
+                    "Eq. 11 admits no feasible γ on {} cores at the reference operating point",
+                    r.processors
+                ),
+            ));
+        }
+        if r.transient_overload() {
+            out.push(tagged_finding_json(
+                "sched-eq9-transient",
+                "info",
+                &r.name,
+                &format!(
+                    "designed transient overload: Eq. 9 margin dips to {:.2} ms at t = {:.1} s",
+                    r.transient_min_margin_ms, r.transient_at_s
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// JSON rendering of the audit.
 #[must_use]
 pub fn render_json(results: &[AuditResult]) -> String {
@@ -379,8 +427,9 @@ pub fn render_json(results: &[AuditResult]) -> String {
         })
         .collect();
     format!(
-        "{{\"mode\":\"schedulability\",\"targets\":[{}],\"exit_code\":{}}}",
+        "{{\"mode\":\"schedulability\",\"targets\":[{}],\"findings\":[{}],\"exit_code\":{}}}",
         rows.join(","),
+        findings_json(results).join(","),
         exit_code(results)
     )
 }
@@ -444,6 +493,26 @@ mod tests {
         assert!(!r.ok());
         assert!(r.eq9_worst.margin_ms() < 0.0);
         assert!(r.gamma_max.is_none());
+        let findings = findings_json(std::slice::from_ref(&r));
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings[0].contains("\"rule\":\"sched-eq9\""));
+        assert!(findings[0].contains("\"severity\":\"error\""));
+        assert!(findings[0].contains("\"target\":\"synthetic::doomed\""));
+        assert!(findings[1].contains("\"rule\":\"sched-eq11\""));
+        assert!(findings[2].contains("\"rule\":\"sched-eq9-transient\""));
+        assert!(findings[2].contains("\"severity\":\"info\""));
         assert_eq!(exit_code(&[r]), exit::SCHEDULABILITY);
+    }
+
+    #[test]
+    fn feasible_targets_emit_only_transient_info_findings() {
+        let results = audit_all();
+        for f in findings_json(&results) {
+            assert!(
+                f.contains("\"rule\":\"sched-eq9-transient\"")
+                    && f.contains("\"severity\":\"info\""),
+                "unexpected error finding on a builtin target: {f}"
+            );
+        }
     }
 }

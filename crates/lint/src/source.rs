@@ -5,6 +5,11 @@
 //! literals, `#[cfg(test)] mod` regions) to blank out every byte that rule
 //! patterns must not match. Blanked bytes become spaces so byte offsets —
 //! and therefore line numbers — stay exact.
+//!
+//! Besides waivers, two more outputs feed the semantic pass:
+//! comment byte spans (where `Eq. N` tags live, harvested by
+//! [`crate::eqcov`]) and `#[cfg(test)]`-module byte regions (so tags inside
+//! unit-test modules classify as test coverage, not implementation).
 
 use crate::report::Rule;
 
@@ -29,9 +34,26 @@ pub struct MaskedFile {
     pub masked: String,
     /// Every waiver comment found, malformed ones included.
     pub waivers: Vec<Waiver>,
+    /// 1-based lines carrying a `// hcperf-lint: hot-path-root` marker;
+    /// each declares the next `fn` item a hot-path root (see
+    /// [`crate::hotpath`]).
+    pub hot_path_roots: Vec<usize>,
+    /// Byte spans of every comment (line, block, and doc) in the original
+    /// source, in order. `Eq. N` tags are harvested from these.
+    pub comment_spans: Vec<(usize, usize)>,
+    /// Byte regions blanked as `#[cfg(…test…)] mod … { … }` test modules.
+    pub test_regions: Vec<(usize, usize)>,
 }
 
 const MARKER: &str = "hcperf-lint:";
+
+/// One recognised `hcperf-lint:` comment directive.
+enum Directive {
+    /// `allow(<rule>): <reason>` — possibly malformed (`rule: None`).
+    Waiver(Waiver),
+    /// `hot-path-root` — declares the next `fn` item a hot-path root.
+    HotPathRoot,
+}
 
 /// Masks `source` and collects waiver comments.
 #[must_use]
@@ -39,17 +61,22 @@ pub fn mask(source: &str) -> MaskedFile {
     let bytes = source.as_bytes();
     let mut out = bytes.to_vec();
     let mut waivers = Vec::new();
+    let mut hot_path_roots = Vec::new();
+    let mut comment_spans = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
                 let end = line_end(bytes, i);
+                comment_spans.push((i, end));
                 // Doc comments (`///`, `//!`) are prose, not directives:
                 // they may legitimately *mention* the waiver syntax.
                 let doc = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
                 if !doc {
-                    if let Some(w) = parse_waiver(&source[i..end], line_of(bytes, i)) {
-                        waivers.push(w);
+                    match parse_directive(&source[i..end], line_of(bytes, i)) {
+                        Some(Directive::Waiver(w)) => waivers.push(w),
+                        Some(Directive::HotPathRoot) => hot_path_roots.push(line_of(bytes, i)),
+                        None => {}
                     }
                 }
                 blank(&mut out, i, end);
@@ -57,6 +84,7 @@ pub fn mask(source: &str) -> MaskedFile {
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 let end = block_comment_end(bytes, i);
+                comment_spans.push((i, end));
                 blank(&mut out, i, end);
                 i = end;
             }
@@ -92,10 +120,13 @@ pub fn mask(source: &str) -> MaskedFile {
             _ => i += 1,
         }
     }
-    mask_test_modules(&mut out);
+    let test_regions = mask_test_modules(&mut out);
     MaskedFile {
         masked: String::from_utf8(out).expect("masking only writes ASCII spaces"),
         waivers,
+        hot_path_roots,
+        comment_spans,
+        test_regions,
     }
 }
 
@@ -188,16 +219,22 @@ fn raw_string_end(bytes: &[u8], r_at: usize) -> usize {
 fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
     match bytes.get(open + 1) {
         Some(b'\\') => {
-            // Escaped literal: skip to the closing quote.
+            // Escaped literal: exactly one payload — a single escaped char
+            // (`\n`, `\'`, `\\`) or a `\u{…}` sequence — then the closing
+            // quote. The payload byte must not be re-read as an escape
+            // intro, or `'\\'` swallows its own closing quote and the
+            // string/char parity of everything after it inverts.
             let mut i = open + 2;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'\\' => i += 2,
-                    b'\'' => return Some(i + 1),
-                    _ => i += 1,
+            if bytes.get(i) == Some(&b'u') && bytes.get(i + 1) == Some(&b'{') {
+                i += 2;
+                while i < bytes.len() && bytes[i] != b'}' {
+                    i += 1;
                 }
+                i += 1;
+            } else {
+                i += 1;
             }
-            Some(bytes.len())
+            (bytes.get(i) == Some(&b'\'')).then(|| i + 1)
         }
         Some(_) if bytes.get(open + 2) == Some(&b'\'') => Some(open + 3),
         Some(&b) if b >= 0x80 => {
@@ -211,28 +248,62 @@ fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
     }
 }
 
-/// Blanks every `#[cfg(test)] mod … { … }` region in already-masked bytes
-/// (string/comment-free, so brace matching is safe). Library rules apply to
-/// shipping code only; unit tests may use wall clocks or `unwrap` freely.
-fn mask_test_modules(out: &mut [u8]) {
-    const ATTR: &[u8] = b"#[cfg(test)]";
+/// Blanks every test-gated `#[cfg(…)] mod … { … }` region in already-masked
+/// bytes (string/comment-free, so brace matching is safe). Library rules
+/// apply to shipping code only; unit tests may use wall clocks or `unwrap`
+/// freely. The attribute is parsed tolerantly: `#[cfg(test)]`,
+/// `#[ cfg ( test ) ]`, and `#[cfg(all(test, feature = "…"))]` all mask,
+/// while `#[cfg(not(test))]` and `#[cfg(any(test, …))]` (both compiled
+/// outside test builds) do not. Returns the blanked byte regions.
+fn mask_test_modules(out: &mut [u8]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
     let mut from = 0;
-    while let Some(pos) = find_bytes(out, ATTR, from) {
-        let mut i = pos + ATTR.len();
-        while i < out.len() && out[i].is_ascii_whitespace() {
-            i += 1;
+    while let Some(pos) = find_byte(out, b'#', from) {
+        from = pos + 1;
+        let Some(attr_end) = parse_test_cfg_attr(out, pos) else {
+            continue;
+        };
+        // Skip whitespace, further attributes, and an optional `pub(…)`
+        // visibility between the attribute and the `mod` keyword.
+        let mut i = attr_end;
+        loop {
+            while i < out.len() && out[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if out.get(i) == Some(&b'#') {
+                if let Some(end) = attribute_end(out, i) {
+                    i = end;
+                    continue;
+                }
+            }
+            break;
+        }
+        if out[i..].starts_with(b"pub") {
+            i += 3;
+            while i < out.len() && out[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if out.get(i) == Some(&b'(') {
+                if let Some(close) = find_byte(out, b')', i) {
+                    i = close + 1;
+                }
+                while i < out.len() && out[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+            }
         }
         let is_mod =
             out[i..].starts_with(b"mod") && out.get(i + 3).is_some_and(|b| b.is_ascii_whitespace());
         if !is_mod {
-            from = pos + ATTR.len();
             continue;
         }
-        let Some(open_rel) = out[i..].iter().position(|&b| b == b'{') else {
-            return;
+        let Some(open) = find_byte(out, b'{', i) else {
+            // `#[cfg(test)] mod tests;` — out-of-line module, nothing to
+            // blank here (the file itself is not under a scanned src root).
+            continue;
         };
         let mut depth = 0usize;
-        let mut j = i + open_rel;
+        let mut j = open;
         while j < out.len() {
             match out[j] {
                 b'{' => depth += 1,
@@ -248,48 +319,202 @@ fn mask_test_modules(out: &mut [u8]) {
         }
         let end = (j + 1).min(out.len());
         blank(out, pos, end);
+        regions.push((pos, end));
         from = end;
     }
+    regions
 }
 
-fn find_bytes(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+/// If a `#[cfg(PRED)]` attribute whose predicate is test-gated starts at
+/// `pos`, returns the attribute's end offset (past the `]`).
+fn parse_test_cfg_attr(bytes: &[u8], pos: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[pos], b'#');
+    let mut i = pos + 1;
+    while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'[') {
+        return None;
+    }
+    let end = attribute_end(bytes, pos)?;
+    let inner = &bytes[i + 1..end - 1];
+    let toks: Vec<AttrTok<'_>> = attr_tokens(inner).collect();
+    if toks.first() != Some(&AttrTok::Ident("cfg")) || toks.get(1) != Some(&AttrTok::Open) {
+        return None;
+    }
+    is_test_predicate(&toks[2..]).then_some(end)
+}
+
+/// End offset (past `]`) of the `#[…]` attribute starting at `pos`, if the
+/// brackets balance.
+fn attribute_end(bytes: &[u8], pos: usize) -> Option<usize> {
+    let mut i = pos + 1;
+    while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Minimal token kinds needed to classify a `cfg` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttrTok<'a> {
+    Ident(&'a str),
+    Open,
+    Close,
+    Other,
+}
+
+fn attr_tokens(bytes: &[u8]) -> impl Iterator<Item = AttrTok<'_>> {
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+            i += 1;
+        }
+        let b = *bytes.get(i)?;
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while bytes
+                .get(i)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                i += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..i]).ok()?;
+            Some(AttrTok::Ident(text))
+        } else {
+            i += 1;
+            match b {
+                b'(' => Some(AttrTok::Open),
+                b')' => Some(AttrTok::Close),
+                _ => Some(AttrTok::Other),
+            }
+        }
+    })
+}
+
+/// Decides whether a `cfg` predicate (tokens after `cfg(`) is only true in
+/// test builds: a bare `test`, or `all(…)` with a test-gated conjunct
+/// (recursively, so `all(feature = "x", all(test))` masks too).
+/// `not(…)`/`any(…)` predicates can hold outside tests, so they never mask.
+fn is_test_predicate(toks: &[AttrTok<'_>]) -> bool {
+    fn pred_is_test_gated(toks: &[AttrTok<'_>], at: &mut usize) -> bool {
+        let head = toks.get(*at).copied();
+        *at += 1;
+        let Some(AttrTok::Ident(name)) = head else {
+            // A literal or stray punctuation: skip to the conjunct boundary.
+            return false;
+        };
+        if toks.get(*at) != Some(&AttrTok::Open) {
+            return name == "test";
+        }
+        // `name(…)` — walk the nested list, recursing only under `all`.
+        *at += 1;
+        let mut gated = false;
+        while let Some(t) = toks.get(*at) {
+            match t {
+                AttrTok::Close => {
+                    *at += 1;
+                    break;
+                }
+                AttrTok::Ident(_) => {
+                    if pred_is_test_gated(toks, at) && name == "all" {
+                        gated = true;
+                    }
+                }
+                AttrTok::Open => {
+                    // Unreachable in well-formed cfgs; consume to balance.
+                    *at += 1;
+                    skip_balanced(toks, at);
+                }
+                AttrTok::Other => *at += 1,
+            }
+        }
+        gated
+    }
+
+    fn skip_balanced(toks: &[AttrTok<'_>], at: &mut usize) {
+        let mut depth = 1usize;
+        while let Some(t) = toks.get(*at) {
+            *at += 1;
+            match t {
+                AttrTok::Open => depth += 1,
+                AttrTok::Close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut at = 0;
+    pred_is_test_gated(toks, &mut at)
+}
+
+fn find_byte(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
     haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
+        .iter()
+        .position(|&b| b == needle)
         .map(|p| from + p)
 }
 
-/// Parses one line comment into a waiver if it carries the marker.
-fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+/// Parses one line comment into a directive if it carries the marker.
+fn parse_directive(comment: &str, line: usize) -> Option<Directive> {
     let at = comment.find(MARKER)?;
     let rest = comment[at + MARKER.len()..].trim_start();
+    if let Some(tail) = rest.strip_prefix("hot-path-root") {
+        // Optional trailing prose after a colon; anything else glued to the
+        // keyword is a typo and reports as malformed.
+        if tail.is_empty() || tail.starts_with(':') || tail.starts_with(char::is_whitespace) {
+            return Some(Directive::HotPathRoot);
+        }
+    }
     let malformed = Waiver {
         rule: None,
         line,
         reason: comment.trim_start_matches('/').trim().to_owned(),
     };
     let Some(args) = rest.strip_prefix("allow(") else {
-        return Some(malformed);
+        return Some(Directive::Waiver(malformed));
     };
     let Some(close) = args.find(')') else {
-        return Some(malformed);
+        return Some(Directive::Waiver(malformed));
     };
     let Some(rule) = Rule::parse(args[..close].trim()) else {
-        return Some(malformed);
+        return Some(Directive::Waiver(malformed));
     };
     let tail = args[close + 1..].trim_start();
     let Some(reason) = tail.strip_prefix(':') else {
-        return Some(malformed);
+        return Some(Directive::Waiver(malformed));
     };
     let reason = reason.trim();
     if reason.is_empty() {
-        return Some(malformed);
+        return Some(Directive::Waiver(malformed));
     }
-    Some(Waiver {
+    Some(Directive::Waiver(Waiver {
         rule: Some(rule),
         line,
         reason: reason.to_owned(),
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -313,6 +538,19 @@ mod tests {
         assert!(!m.masked.contains("Instant"));
         assert!(m.masked.contains("fn f<'a>(x: &'a str)"));
         assert!(!m.masked.contains("'x'"));
+    }
+
+    /// Escaped char literals must end exactly at their closing quote.
+    /// `'\\'` is the regression case: reading its payload backslash as a
+    /// fresh escape intro jumps past the closing quote, swallows the next
+    /// `'` in the file, and inverts string/code parity from there on.
+    #[test]
+    fn escaped_char_literals_do_not_invert_parity() {
+        let src = "match b {\n    b'\\\\' => 1,\n    b'\"' => 2,\n    '\\'' => 3,\n    '\\u{7f}' => 4,\n    _ => 5,\n}\nlet s = \"Instant\";\nfn after() {}\n";
+        let m = mask(src);
+        assert!(!m.masked.contains("Instant"), "string must stay masked");
+        assert!(m.masked.contains("fn after()"), "code must stay visible");
+        assert_eq!(m.masked.len(), src.len());
     }
 
     #[test]
@@ -361,5 +599,71 @@ mod tests {
     fn doc_comments_never_carry_waivers() {
         let m = mask("/// hcperf-lint: allow(float-eq): prose, not a directive\nfn f() {}\n//! hcperf-lint: allow(entropy)\n");
         assert!(m.waivers.is_empty());
+    }
+
+    #[test]
+    fn masks_cfg_all_test_modules_and_whitespace_variants() {
+        // The old scanner matched only the literal bytes `#[cfg(test)]`;
+        // all of these escaped it.
+        let hits = [
+            "#[cfg(all(test, feature = \"slow\"))]\nmod tests { use std::collections::HashMap; }\n",
+            "#[ cfg ( test ) ]\nmod tests { use std::collections::HashMap; }\n",
+            "#[cfg(all(feature = \"slow\", test))]\nmod tests { use std::collections::HashMap; }\n",
+            "#[cfg(test)]\n#[allow(dead_code)]\npub mod tests { use std::collections::HashMap; }\n",
+            "#[cfg(all(feature = \"slow\", all(test)))]\nmod tests { use std::collections::HashMap; }\n",
+            "#[cfg(test)]\npub(crate) mod tests { use std::collections::HashMap; }\n",
+        ];
+        for src in hits {
+            let m = mask(src);
+            assert!(!m.masked.contains("HashMap"), "should mask: {src}");
+            assert_eq!(m.test_regions.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn never_masks_not_test_or_any_test_modules() {
+        // These predicates also hold outside test builds: the code ships.
+        let misses = [
+            "#[cfg(not(test))]\nmod shipping { use std::collections::HashMap; }\n",
+            "#[cfg(any(test, feature = \"x\"))]\nmod maybe { use std::collections::HashMap; }\n",
+            "#[cfg(feature = \"test\")]\nmod feat { use std::collections::HashMap; }\n",
+            "#[cfg(all(not(test), feature = \"x\"))]\nmod shipping { use std::collections::HashMap; }\n",
+        ];
+        for src in misses {
+            let m = mask(src);
+            assert!(m.masked.contains("HashMap"), "must NOT mask: {src}");
+            assert!(m.test_regions.is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn hot_path_root_marker_is_a_directive_not_a_malformed_waiver() {
+        let src = "\
+// hcperf-lint: hot-path-root
+fn dispatch() {}
+// hcperf-lint: hot-path-root: called once per dispatch
+fn rank() {}
+";
+        let m = mask(src);
+        assert!(m.waivers.is_empty(), "{:?}", m.waivers);
+        assert_eq!(m.hot_path_roots, vec![1, 3]);
+    }
+
+    #[test]
+    fn misspelled_root_marker_is_malformed() {
+        let m = mask("// hcperf-lint: hot-path-roots\nfn f() {}\n");
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].rule, None);
+        assert!(m.hot_path_roots.is_empty());
+    }
+
+    #[test]
+    fn comment_spans_cover_doc_and_block_comments() {
+        let src = "/// Eq. 6 quadrature.\nfn f() { /* Eq. 9 */ }\n// tail\n";
+        let m = mask(src);
+        assert_eq!(m.comment_spans.len(), 3);
+        let texts: Vec<&str> = m.comment_spans.iter().map(|&(a, b)| &src[a..b]).collect();
+        assert_eq!(texts[0], "/// Eq. 6 quadrature.");
+        assert_eq!(texts[1], "/* Eq. 9 */");
     }
 }

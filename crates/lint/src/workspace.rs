@@ -146,6 +146,55 @@ impl LintReport {
     }
 }
 
+/// One loaded source file: raw text plus its masking products.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Raw file contents.
+    pub raw: String,
+    /// Masked text, waivers, root markers, comment spans, test regions.
+    pub masked: crate::source::MaskedFile,
+}
+
+/// Loads and masks every `.rs` file under the given workspace-relative
+/// roots, in sorted order. Roots listed in `required` must exist; others
+/// (per-crate `tests/` dirs) are skipped silently when absent.
+///
+/// # Errors
+///
+/// Propagates I/O failures; a missing required root is an error.
+pub fn load_sources(
+    root: &Path,
+    rel_roots: &[&str],
+    required: bool,
+) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for rel_root in rel_roots {
+        let dir = root.join(rel_root);
+        if !dir.is_dir() {
+            if required {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("expected source tree at {}", dir.display()),
+                ));
+            }
+            continue;
+        }
+        for path in rust_files(&dir)? {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let raw = fs::read_to_string(&path)?;
+            let masked = crate::source::mask(&raw);
+            out.push(SourceFile { rel, raw, masked });
+        }
+    }
+    Ok(out)
+}
+
 /// Recursively collects `.rs` files under `dir`, sorted for reproducible
 /// report order.
 fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {

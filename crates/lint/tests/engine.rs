@@ -128,6 +128,11 @@ fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> Pat
         fs::write(root.join(rel), text).expect("write violation file");
     }
     fs::write(root.join("crates/lint/unwrap_baseline.txt"), baseline).expect("write baseline");
+    fs::write(
+        root.join("crates/lint/hotpath_baseline.txt"),
+        "# empty hot-path baseline\n",
+    )
+    .expect("write hot-path baseline");
     root
 }
 
@@ -252,6 +257,96 @@ fn binary_rejects_unknown_arguments() {
 }
 
 // ---------------------------------------------------------------------------
+// Binary end-to-end: the call-graph-aware analysis modes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn binary_hot_path_alloc_in_reachable_fn_fails_with_exact_line() {
+    // The allocation is NOT in the root itself: it must be found through
+    // the call-graph edge root_fn -> helper.
+    let root = mini_workspace(
+        "hotpath-alloc",
+        &[(
+            "crates/core/src/hot.rs",
+            "// hcperf-lint: hot-path-root\n\
+             pub fn root_fn(n: usize) -> usize {\n    helper(n)\n}\n\
+             fn helper(n: usize) -> usize {\n    let v = vec![0u8; n];\n    v.len()\n}\n",
+        )],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--hot-path", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::RATCHET), "{out:?}");
+
+    let doc = parse_json(&out);
+    assert_eq!(doc["mode"].as_str(), Some("hot-path"));
+    let roots = doc["hot_path"]["roots"].as_array().expect("roots array");
+    assert_eq!(roots.len(), 1, "{roots:?}");
+    assert_eq!(roots[0].as_str(), Some("root_fn"));
+    let findings = doc["findings"].as_array().expect("findings array");
+    let alloc: Vec<_> = findings
+        .iter()
+        .filter(|f| f["rule"].as_str() == Some("hot-path-alloc"))
+        .collect();
+    assert_eq!(alloc.len(), 1, "{findings:?}");
+    assert_eq!(alloc[0]["path"].as_str(), Some("crates/core/src/hot.rs"));
+    assert_eq!(alloc[0]["line"].as_f64(), Some(6.0), "`vec![0u8; n]` line");
+}
+
+#[test]
+fn binary_hot_path_alloc_outside_reachable_set_is_ignored() {
+    // Same allocation, but no root marker anywhere: nothing is reachable,
+    // so the site does not count and the run is clean.
+    let root = mini_workspace(
+        "hotpath-cold",
+        &[(
+            "crates/core/src/cold.rs",
+            "pub fn cold(n: usize) -> usize {\n    let v = vec![0u8; n];\n    v.len()\n}\n",
+        )],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--hot-path", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let doc = parse_json(&out);
+    assert_eq!(doc["hot_path"]["reachable_fns"].as_f64(), Some(0.0));
+}
+
+#[test]
+fn binary_untested_eq_tag_fails_eq_coverage_with_exact_line() {
+    // Eq. 7 gets an impl site but no test anywhere in the mini workspace.
+    let root = mini_workspace(
+        "eqcov",
+        &[(
+            "crates/core/src/eq.rs",
+            "// plain comment\n// Eq. 7: discrete quadrature lives here.\npub fn q() {}\n",
+        )],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--eq-coverage", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::FINDINGS), "{out:?}");
+
+    let doc = parse_json(&out);
+    assert_eq!(doc["mode"].as_str(), Some("eq-coverage"));
+    let findings = doc["findings"].as_array().expect("findings array");
+    assert!(
+        findings
+            .iter()
+            .all(|f| f["rule"].as_str() == Some("eq-coverage")),
+        "{findings:?}"
+    );
+    // The Eq. 7 finding anchors at the tag's exact location; the other
+    // required equations (no sites at all) are also reported.
+    let eq7: Vec<_> = findings
+        .iter()
+        .filter(|f| f["path"].as_str() == Some("crates/core/src/eq.rs"))
+        .collect();
+    assert_eq!(eq7.len(), 1, "{findings:?}");
+    assert_eq!(eq7[0]["line"].as_f64(), Some(2.0));
+    let msg = eq7[0]["message"].as_str().expect("message");
+    assert!(msg.contains("test"), "points at the missing test: {msg}");
+    assert!(findings.len() > 1, "untagged required equations also fail");
+}
+
+// ---------------------------------------------------------------------------
 // The real workspace: both modes must be clean (this is the CI gate).
 // ---------------------------------------------------------------------------
 
@@ -291,5 +386,64 @@ fn real_workspace_schedulability_audit_is_clean() {
     for t in targets {
         assert_eq!(t["ok"].as_bool(), Some(true), "{t:?}");
         assert!(t["gamma_max"].as_f64().is_some(), "{t:?}");
+    }
+    // Schedulability findings share the source-finding shape: rule id,
+    // severity, and the audited target as the finding's target key. On a
+    // feasible workspace only informational transients may appear.
+    let findings = doc["findings"].as_array().expect("findings array");
+    let target_names: Vec<&str> = targets.iter().filter_map(|t| t["name"].as_str()).collect();
+    for f in findings {
+        assert_eq!(f["rule"].as_str(), Some("sched-eq9-transient"), "{f:?}");
+        assert_eq!(f["severity"].as_str(), Some("info"), "{f:?}");
+        let target = f["target"].as_str().expect("target key");
+        assert!(target_names.contains(&target), "{f:?}");
+    }
+}
+
+#[test]
+fn real_workspace_hot_path_and_eq_coverage_are_clean() {
+    let out = run_lint(&real_root(), &["--hot-path", "--eq-coverage", "--json"]);
+    let doc = parse_json(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(exit::CLEAN),
+        "analysis gate must be clean; findings: {:?}, ratchet: {:?}",
+        doc["findings"],
+        doc["hot_path"]["ratchet"]
+    );
+    assert_eq!(doc["mode"].as_str(), Some("hot-path+eq-coverage"));
+
+    // The declared roots from ISSUE/ARCHITECTURE are all present.
+    let roots: Vec<&str> = doc["hot_path"]["roots"]
+        .as_array()
+        .expect("roots array")
+        .iter()
+        .filter_map(|r| r.as_str())
+        .collect();
+    for expected in [
+        "GammaScratch::rank",
+        "GammaScratch::feasible",
+        "DynamicPriorityScheduler::gamma_max_cached",
+        "gamma_max",
+        "FifoScheduler::select",
+        "Sim::try_dispatch",
+        "PerformanceDirectedController::step",
+    ] {
+        assert!(
+            roots.contains(&expected),
+            "missing root {expected}: {roots:?}"
+        );
+    }
+
+    // Every required equation (Eq. 2-12) has at least one impl and one test.
+    let eqs = doc["eq_coverage"]["equations"]
+        .as_array()
+        .expect("equations array");
+    for eq in 2..=12u32 {
+        let row = eqs
+            .iter()
+            .find(|e| e["eq"].as_f64() == Some(f64::from(eq)))
+            .unwrap_or_else(|| panic!("Eq. {eq} absent from report"));
+        assert_eq!(row["ok"].as_bool(), Some(true), "Eq. {eq}: {row:?}");
     }
 }

@@ -108,6 +108,19 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Removes and returns the earliest event if it fires at or before
+    /// `t_end`; leaves the queue untouched otherwise. This is the
+    /// horizon-bounded drain the simulation loop runs on — one call sites
+    /// both the emptiness and the cutoff check, so the loop needs no
+    /// peek-then-unwrap pair.
+    pub fn pop_due(&mut self, t_end: SimTime) -> Option<Event> {
+        if self.heap.peek().is_some_and(|e| e.time <= t_end) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
     /// Returns the earliest event time without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -163,6 +176,28 @@ mod tests {
             })
             .collect();
         assert_eq!(tasks, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), release(0));
+        q.push(SimTime::from_secs(3.0), release(1));
+        let horizon = SimTime::from_secs(2.0);
+        assert_eq!(
+            q.pop_due(horizon).map(|e| e.time),
+            Some(SimTime::from_secs(1.0))
+        );
+        assert_eq!(q.pop_due(horizon), None, "3.0 s event is past the horizon");
+        assert_eq!(q.len(), 1, "the late event stays queued");
+        // An event exactly at the horizon is due.
+        q.push(horizon, release(2));
+        assert_eq!(q.pop_due(horizon).map(|e| e.time), Some(horizon));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(10.0)).map(|e| e.time),
+            Some(SimTime::from_secs(3.0))
+        );
+        assert_eq!(q.pop_due(SimTime::from_secs(10.0)), None, "empty queue");
     }
 
     #[test]

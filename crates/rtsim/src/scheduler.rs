@@ -104,6 +104,7 @@ impl FifoScheduler {
 }
 
 impl Scheduler for FifoScheduler {
+    // hcperf-lint: hot-path-root
     fn select(&mut self, ctx: &SchedContext<'_>) -> Option<usize> {
         ctx.candidates
             .iter()

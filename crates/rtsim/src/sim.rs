@@ -355,7 +355,7 @@ impl<S: Scheduler> Sim<S> {
         self.graph
             .sources()
             .iter()
-            .map(|&s| (s, self.rates[s.index()].expect("sources have rates")))
+            .filter_map(|&s| self.rates[s.index()].map(|r| (s, r)))
             .collect()
     }
 
@@ -409,7 +409,7 @@ impl<S: Scheduler> Sim<S> {
                 .graph
                 .sources()
                 .iter()
-                .map(|&s| self.rates[s.index()].expect("sources have rates").as_hz())
+                .filter_map(|&s| self.rates[s.index()].map(Rate::as_hz))
                 .collect(),
         }
     }
@@ -417,11 +417,7 @@ impl<S: Scheduler> Sim<S> {
     /// Advances the simulation, processing every event up to and including
     /// `t_end`, then sets the clock to `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
-        while let Some(time) = self.events.peek_time() {
-            if time > t_end {
-                break;
-            }
-            let event = self.events.pop().expect("peeked event exists");
+        while let Some(event) = self.events.pop_due(t_end) {
             debug_assert!(event.time >= self.now, "event time went backwards");
             self.now = event.time;
             match event.kind {
@@ -489,8 +485,9 @@ impl<S: Scheduler> Sim<S> {
                 let cycle = self.cycles[task.index()];
                 self.cycles[task.index()] += 1;
                 self.release_job(task, cycle, self.now);
-                let rate = self.rates[task.index()].expect("source has a rate");
-                self.rearm(task, rate);
+                if let Some(rate) = self.rates[task.index()] {
+                    self.rearm(task, rate);
+                }
             }
             JoinPolicy::SameCycle => {
                 // Release every source of this pipeline cycle together.
@@ -505,14 +502,15 @@ impl<S: Scheduler> Sim<S> {
                     self.release_job(s, cycle, self.now);
                 }
                 // The pipeline advances at the *slowest* source rate.
-                let rate = self
+                let slowest = self
                     .graph
                     .sources()
                     .iter()
-                    .map(|s| self.rates[s.index()].expect("source has a rate"))
-                    .min()
-                    .expect("graph has sources");
-                self.rearm(task, rate);
+                    .filter_map(|s| self.rates[s.index()])
+                    .min();
+                if let Some(rate) = slowest {
+                    self.rearm(task, rate);
+                }
             }
         }
     }
@@ -533,9 +531,10 @@ impl<S: Scheduler> Sim<S> {
     }
 
     fn on_completion(&mut self, processor: usize) {
-        let running = self.running[processor]
-            .take()
-            .expect("completion event for an idle processor");
+        let Some(running) = self.running[processor].take() else {
+            debug_assert!(false, "completion event for an idle processor");
+            return;
+        };
         debug_assert_eq!(running.finish, self.now);
         let job = running.job;
         let task = job.task();
@@ -583,10 +582,10 @@ impl<S: Scheduler> Sim<S> {
     }
 
     fn on_output_ready(&mut self, job_id: JobId) {
-        let job = self
-            .pending_outputs
-            .remove(&job_id)
-            .expect("output-ready event for an unknown job");
+        let Some(job) = self.pending_outputs.remove(&job_id) else {
+            debug_assert!(false, "output-ready event for an unknown job");
+            return;
+        };
         self.propagate_output(job);
     }
 
@@ -681,6 +680,7 @@ impl<S: Scheduler> Sim<S> {
         }
     }
 
+    // hcperf-lint: hot-path-root
     fn try_dispatch(&mut self) {
         if self.ready.is_empty() {
             return;

@@ -1,0 +1,183 @@
+//! Throughput of the fleet-scale simulation service (`hcperf fleet`),
+//! recorded as `BENCH_fleet.json`.
+//!
+//! Two measurements:
+//!
+//! * **fleet service** — `run_fleet` vehicles/sec at 1, 2 and 8 workers,
+//!   streaming per-vehicle + aggregate JSONL through a bounded result
+//!   queue. The three streams are asserted **byte-identical** before any
+//!   timing is trusted (the `--jobs N` contract).
+//! * **collect vs streaming** — the same vehicle batch through the
+//!   retaining `run_batch` (before: every `JobResult` held until the
+//!   batch ends, O(fleet) memory) and through `run_batch_streaming`
+//!   (after: sink-then-drop, memory bounded by the reorder window),
+//!   asserted bit-identical to each other.
+//!
+//! ```sh
+//! cargo run --release -p hcperf-bench --bin bench_fleet [-- --jobs N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hcperf_harness::{
+    available_workers, run_batch, run_batch_streaming, BatchOptions, Job, JobStatus,
+};
+use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
+use hcperf_scenarios::fleet::{run_fleet, FleetConfig, FleetPreset};
+
+const VEHICLES: usize = 400;
+const HORIZON_S: f64 = 2.0;
+const WORKER_MATRIX: [usize; 3] = [1, 2, 8];
+
+fn fleet_config(workers: usize) -> FleetConfig {
+    let mut config = FleetConfig::new(FleetPreset::CarFollowing, VEHICLES);
+    config.duration = HORIZON_S;
+    config.aggregate_every = 100;
+    config.queue_capacity = 64;
+    config.workers = workers;
+    config
+}
+
+/// The same per-vehicle cell shape `run_fleet` submits, reproduced here
+/// so the retained-vs-streaming comparison measures collection strategy
+/// on identical work.
+fn vehicle_cell(seed: u64) -> (u64, f64, f64) {
+    let mut c = CarFollowingConfig::paper_simulation(fleet_config(1).scheme);
+    c.duration = HORIZON_S;
+    c.warmup = c.warmup.min(HORIZON_S * 0.25);
+    c.seed = seed;
+    c.record_series = false;
+    let r = run_car_following(&c).expect("vehicle simulation");
+    (r.commands, r.rms_speed_error, r.overall_miss_ratio)
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let requested = hcperf_bench::jobs_from_cli();
+    println!(
+        "fleet service throughput: {VEHICLES} vehicles x {HORIZON_S} s horizon (host reports {} cores)",
+        available_workers()
+    );
+
+    // --- Fleet service: vehicles/sec at 1/2/8 workers, byte-identity
+    // asserted across the matrix. ---
+    let mut reference: Option<String> = None;
+    let mut fleet_rows = Vec::new();
+    let worker_counts: Vec<usize> = if requested == 0 {
+        WORKER_MATRIX.to_vec()
+    } else {
+        vec![requested]
+    };
+    for &workers in &worker_counts {
+        let config = fleet_config(workers);
+        let mut buf = Vec::new();
+        let (wall, summary) = time(|| run_fleet(&config, &mut buf).expect("fleet run"));
+        assert_eq!(summary.ok, VEHICLES, "every vehicle must complete");
+        let text = String::from_utf8(buf)?;
+        match &reference {
+            None => reference = Some(text),
+            Some(reference) => assert_eq!(
+                &text, reference,
+                "fleet stream must be byte-identical at {workers} workers"
+            ),
+        }
+        let rate = VEHICLES as f64 / wall.as_secs_f64();
+        println!(
+            "  {workers} workers: {:.2} s ({rate:.0} vehicles/s)",
+            wall.as_secs_f64()
+        );
+        fleet_rows.push((workers, wall.as_secs_f64(), rate));
+    }
+    println!("  byte-identity across worker counts: OK");
+
+    // --- Collect vs streaming: identical vehicle batch, retained
+    // results vs sink-then-drop. ---
+    let cmp_workers = if requested == 0 { 2 } else { requested };
+    let jobs: Vec<Job<usize>> = (0..VEHICLES)
+        .map(|i| Job::new(format!("fleet/car-following/vehicle={i}"), i))
+        .collect();
+    let root_seed = fleet_config(1).root_seed;
+
+    let (collect_wall, retained) = time(|| {
+        let opts = BatchOptions::with_workers(cmp_workers).root_seed(root_seed);
+        run_batch(&jobs, opts, |_, seed| vehicle_cell(seed)).expect("retained batch")
+    });
+    let retained_digests: Vec<(u64, f64, f64)> = retained
+        .iter()
+        .map(|r| match &r.status {
+            JobStatus::Ok(d) => *d,
+            JobStatus::Panicked(m) => panic!("vehicle panicked: {m}"),
+        })
+        .collect();
+
+    let mut streamed_digests: Vec<(u64, f64, f64)> = Vec::new();
+    let mut sink = |r: &hcperf_harness::JobResult<(u64, f64, f64)>| match &r.status {
+        JobStatus::Ok(d) => streamed_digests.push(*d),
+        JobStatus::Panicked(m) => panic!("vehicle panicked: {m}"),
+    };
+    let (stream_wall, stream_summary) = time(|| {
+        let opts = BatchOptions::with_workers(cmp_workers)
+            .root_seed(root_seed)
+            .queue_capacity(64)
+            .stream_to(&mut sink);
+        run_batch_streaming(&jobs, opts, |_, seed| vehicle_cell(seed)).expect("streaming batch")
+    });
+    assert_eq!(stream_summary.ok, VEHICLES);
+    assert_eq!(
+        streamed_digests, retained_digests,
+        "streaming must be bit-identical to the retained batch"
+    );
+    let collect_rate = VEHICLES as f64 / collect_wall.as_secs_f64();
+    let stream_rate = VEHICLES as f64 / stream_wall.as_secs_f64();
+    println!(
+        "  collect (run_batch, O(fleet) memory): {:.2} s ({collect_rate:.0} vehicles/s)",
+        collect_wall.as_secs_f64()
+    );
+    println!(
+        "  streaming (run_batch_streaming, bounded memory): {:.2} s ({stream_rate:.0} vehicles/s)",
+        stream_wall.as_secs_f64()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"title\": \"hcperf fleet: fleet-scale simulation service throughput\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"methodology\": {{\n    \"fleet\": \"run_fleet, {VEHICLES} car-following vehicles x {HORIZON_S} s horizon, HCPerf scheme, bounded result queue (capacity 64), aggregates every 100 vehicles, JSONL streamed to memory; the 1/2/8-worker streams are asserted byte-identical before timing is trusted\",\n    \"collect_vs_streaming\": \"the same {VEHICLES}-vehicle batch through run_batch (every JobResult retained until the batch ends, O(fleet) memory) and run_batch_streaming (sink-then-drop, memory bounded by the reorder window), {cmp_workers} workers, asserted bit-identical\",\n    \"host_available_parallelism\": {},\n    \"command\": \"cargo run --release -p hcperf-bench --bin bench_fleet\"\n  }},",
+        available_workers()
+    );
+    let _ = writeln!(json, "  \"results\": {{");
+    let _ = writeln!(json, "    \"fleet_service\": [");
+    for (i, (workers, wall, rate)) in fleet_rows.iter().enumerate() {
+        let comma = if i + 1 == fleet_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{ \"workers\": {workers}, \"vehicles\": {VEHICLES}, \"wall_s\": {wall:.3}, \"vehicles_per_s\": {rate:.1}, \"byte_identical\": true }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"collect_vs_streaming\": {{ \"workers\": {cmp_workers}, \"vehicles\": {VEHICLES}, \"collect_s\": {:.3}, \"streaming_s\": {:.3}, \"collect_vehicles_per_s\": {collect_rate:.1}, \"streaming_vehicles_per_s\": {stream_rate:.1}, \"bit_identical\": true }}",
+        collect_wall.as_secs_f64(),
+        stream_wall.as_secs_f64()
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"Vehicles/sec is bounded by the host's cores: on a 1-core container the 1/2/8-worker rates are ~equal (the matrix still proves byte-identity through the bounded queue); on a multi-core host the rate scales with workers. Streaming matches collect throughput while holding O(reorder-window) instead of O(fleet) results.\""
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_fleet.json", &json)?;
+    println!("wrote BENCH_fleet.json");
+    Ok(())
+}

@@ -113,6 +113,23 @@ impl Args {
         }
     }
 
+    /// Boolean option (`true | false`) with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if the value is present but neither `true`
+    /// nor `false`.
+    pub fn get_bool(&self, key: &str, default: bool) -> Result<bool, ParseError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(v) => Err(ParseError(format!(
+                "--{key} expects true or false, got {v:?}"
+            ))),
+        }
+    }
+
     /// Scheme option (`hpf | edf | edf-vd | apollo | hcperf`) with a default.
     ///
     /// # Errors

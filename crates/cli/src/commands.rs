@@ -8,6 +8,7 @@ use hcperf::rta::rta_fixed_priority;
 use hcperf::Scheme;
 use hcperf_rtsim::{gantt, trace_json, JoinPolicy, Sim, SimConfig};
 use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
+use hcperf_scenarios::fleet::{run_fleet, FleetConfig, FleetPreset};
 use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
 use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
 use hcperf_scenarios::sweep::{knee, rate_sweep_parallel, SweepConfig};
@@ -25,6 +26,8 @@ pub enum CliError {
     Scenario(hcperf_scenarios::ScenarioError),
     /// Graph construction failure.
     Graph(hcperf_taskgraph::GraphError),
+    /// Output file I/O failure.
+    Io(String),
     /// Unknown subcommand.
     UnknownCommand(String),
 }
@@ -35,6 +38,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Scenario(e) => write!(f, "scenario failed: {e}"),
             CliError::Graph(e) => write!(f, "graph failed: {e}"),
+            CliError::Io(msg) => write!(f, "i/o failed: {msg}"),
             CliError::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?}; try `hcperf help`")
             }
@@ -90,6 +94,26 @@ COMMANDS
   graph       Emit the task graph
                 --which     apollo | motivation            (apollo)
                 --format    dot | json                     (dot)
+  fleet       Fleet-scale simulation service: N vehicles sharded over a
+              worker pool, streaming one JSONL record per vehicle plus
+              running fleet aggregates; bit-identical for any --jobs
+                --preset    car-following | car-following-hw |
+                            lane-keeping                       (car-following)
+                --scheme    hpf|edf|edf-vd|apollo|hcperf       (hcperf)
+                --vehicles  fleet size                         (100)
+                --duration  seconds per vehicle                (20)
+                --seed      root seed (per-vehicle seeds are
+                            derived from stable keys)          (990951)
+                --jobs      worker threads                     (available parallelism)
+                --queue     result-queue bound; workers block
+                            when a slow sink falls this far
+                            behind (0 = unbounded)             (1024)
+                --aggregate-every
+                            vehicles between running
+                            aggregate records (0 = final only) (100)
+                --timing    true|false include per-vehicle
+                            wall times (breaks reproducibility)(false)
+                --out       JSONL path, or - for stdout        (-)
   trace       Run the pipeline briefly and emit the schedule
                 --scheme, --seed as above                  (edf)
                 --duration  seconds                        (0.5)
@@ -111,6 +135,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "run" => cmd_run(args),
         "sweep" => cmd_sweep(args),
         "analyze" => cmd_analyze(args),
+        "fleet" => cmd_fleet(args),
         "motivation" => cmd_motivation(args),
         "graph" => cmd_graph(args),
         "trace" => cmd_trace(args),
@@ -289,6 +314,75 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_fleet(args: &Args) -> Result<String, CliError> {
+    let preset_name = args.get("preset").unwrap_or("car-following");
+    let preset = FleetPreset::parse(preset_name).ok_or_else(|| {
+        CliError::Args(ParseError(format!(
+            "unknown preset {preset_name:?} (car-following | car-following-hw | lane-keeping)"
+        )))
+    })?;
+    let vehicles = args.get_usize("vehicles", 100)?;
+    let duration = args.get_f64("duration", 20.0)?;
+    if vehicles == 0 || duration <= 0.0 {
+        return Err(CliError::Args(ParseError(
+            "--vehicles and --duration must be positive".into(),
+        )));
+    }
+    let mut config = FleetConfig::new(preset, vehicles);
+    config.scheme = args.get_scheme("scheme", config.scheme)?;
+    config.duration = duration;
+    config.root_seed = args.get_u64("seed", config.root_seed)?;
+    config.workers = args.get_usize("jobs", 0)?;
+    config.queue_capacity = args.get_usize("queue", config.queue_capacity)?;
+    config.aggregate_every = args.get_usize("aggregate-every", config.aggregate_every)?;
+    config.timing = args.get_bool("timing", false)?;
+
+    let out_path = args.get("out").unwrap_or("-");
+    let summary = if out_path == "-" {
+        // Service mode: records go straight to stdout as they complete;
+        // only the human summary is returned through dispatch.
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        run_fleet(&config, &mut lock)?
+    } else {
+        let mut file = std::fs::File::create(out_path)
+            .map(std::io::BufWriter::new)
+            .map_err(|e| CliError::Io(format!("create {out_path}: {e}")))?;
+        run_fleet(&config, &mut file)?
+    };
+
+    let mut out = format!(
+        "fleet: {} vehicles ({}, {}), {:.1} s horizon each\n",
+        summary.vehicles,
+        preset.name(),
+        config.scheme,
+        config.duration
+    );
+    let _ = writeln!(
+        out,
+        "  ok / failed / panicked: {} / {} / {}",
+        summary.ok, summary.failed, summary.panicked
+    );
+    let _ = writeln!(out, "  collisions:             {}", summary.collisions);
+    if let Some(agg) = &summary.aggregate {
+        let _ = writeln!(
+            out,
+            "  fleet e2e p50 / p99:    {:.1} / {:.1} ms (worst vehicle p99 {:.1} ms)",
+            agg.e2e_p50_ms, agg.e2e_p99_ms, agg.worst_e2e_p99_ms
+        );
+        let _ = writeln!(
+            out,
+            "  mean miss ratio:        {:.2}%",
+            agg.mean_miss_ratio * 100.0
+        );
+        let _ = writeln!(out, "  tracking RMSE:          {:.4}", agg.tracking_rmse);
+    }
+    if out_path != "-" {
+        let _ = writeln!(out, "  records: {out_path}");
+    }
+    Ok(out)
+}
+
 fn cmd_motivation(args: &Args) -> Result<String, CliError> {
     let scheme = args.get_scheme("scheme", Scheme::Apollo)?;
     let config = MotivationConfig {
@@ -371,12 +465,13 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     sim.run_until(SimTime::from_secs(duration));
     let graph = sim.graph().clone();
     match format {
-        "gantt" => Ok(gantt::render(
+        "gantt" => gantt::render(
             sim.trace(),
             &graph,
             SimTime::from_secs(duration),
             duration / 100.0,
-        )),
+        )
+        .map_err(|e| CliError::Args(ParseError(format!("gantt render: {e}")))),
         "chrome" => trace_json::to_chrome_trace(sim.trace(), &graph)
             .map_err(|e| CliError::Args(ParseError(format!("serialization failed: {e}")))),
         other => Err(CliError::Args(ParseError(format!(
@@ -446,6 +541,49 @@ mod tests {
         assert!(v.as_array().unwrap().len() > 10);
         assert!(run(&["trace", "--format", "svg"]).is_err());
         assert!(run(&["trace", "--duration", "0"]).is_err());
+    }
+
+    #[test]
+    fn fleet_streams_jsonl_and_summarizes() {
+        let path = std::env::temp_dir().join("hcperf_cli_fleet_test.jsonl");
+        let path = path.to_str().unwrap();
+        let out = run(&[
+            "fleet",
+            "--vehicles",
+            "3",
+            "--duration",
+            "0.5",
+            "--aggregate-every",
+            "2",
+            "--out",
+            path,
+        ])
+        .unwrap();
+        assert!(out.contains("fleet: 3 vehicles"), "{out}");
+        assert!(out.contains("ok / failed / panicked: 3 / 0 / 0"), "{out}");
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        let vehicles = text
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"vehicle\""))
+            .count();
+        let aggregates = text
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"aggregate\""))
+            .count();
+        assert_eq!(vehicles, 3);
+        // One at the cadence boundary (2) and one final (3).
+        assert_eq!(aggregates, 2);
+        // Timing is off by default: no wall times in the stream.
+        assert!(!text.contains("wall_ms"), "{text}");
+    }
+
+    #[test]
+    fn fleet_validates_arguments() {
+        assert!(run(&["fleet", "--vehicles", "0"]).is_err());
+        assert!(run(&["fleet", "--duration", "0"]).is_err());
+        assert!(run(&["fleet", "--preset", "submarine"]).is_err());
+        assert!(run(&["fleet", "--timing", "maybe"]).is_err());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   collection, per-job `catch_unwind` panic isolation (a crashed
 //!   simulation becomes a [`JobStatus::Panicked`] record instead of
 //!   killing the batch);
+//! * [`run_batch_streaming`] — the same pool without result retention:
+//!   each record goes to the sink in submission order and is dropped,
+//!   and [`BatchOptions::queue_capacity`] bounds the result queue so a
+//!   slow sink back-pressures the workers — the fleet-scale mode;
 //! * [`JsonlSink`]/[`RecordSink`] — streaming JSON-Lines output fed in
 //!   submission order, plus a [`Progress`] callback fed in completion
 //!   order.
@@ -40,5 +44,8 @@ pub mod seed;
 pub mod sink;
 
 pub use job::{Job, JobResult, JobStatus, Progress};
-pub use pool::{available_workers, run_batch, run_batch_with, BatchError, BatchOptions};
+pub use pool::{
+    available_workers, run_batch, run_batch_streaming, run_batch_with, BatchError, BatchOptions,
+    HarnessError, StreamSummary,
+};
 pub use sink::{json_escape, JsonlSink, RecordSink};

@@ -7,7 +7,23 @@
 //! seeds come from [`crate::seed::derive_seed`] (or an explicit pin)
 //! and results are reported in submission order, which is what makes a
 //! batch bit-identical for any worker count.
+//!
+//! Two collection modes share one ordered delivery core:
+//!
+//! * [`run_batch`] retains every result and returns the full vector —
+//!   right for bounded sweeps whose results are aggregated afterwards;
+//! * [`run_batch_streaming`] hands each result to the sink in
+//!   submission order and then **drops it**, so a fleet of a million
+//!   vehicles holds only the out-of-order reorder window in memory.
+//!   Combined with [`BatchOptions::queue_capacity`] (a bounded result
+//!   channel), a slow sink back-pressures the workers instead of
+//!   ballooning the queue.
+//!
+//! Collection failures are structured: a worker that dies without
+//! reporting its job yields [`HarnessError::LostJobs`] instead of
+//! killing the run with a panic.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -18,23 +34,52 @@ use crate::job::{Job, JobResult, JobStatus, Progress};
 use crate::seed::derive_seed;
 use crate::sink::RecordSink;
 
-/// Batch-level validation failure.
+/// Batch validation or collection failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BatchError {
+pub enum HarnessError {
     /// Two jobs share a key; keys feed seed derivation and result
     /// labelling, so they must be unique within a batch.
     DuplicateKey(String),
+    /// The result channel closed before every job reported: one or more
+    /// workers died without producing even a panic record. The batch's
+    /// delivered prefix is still valid; `missing` lists the submission
+    /// indices that never arrived.
+    LostJobs {
+        /// Submission indices that never reported.
+        missing: Vec<usize>,
+        /// Total jobs in the batch.
+        total: usize,
+    },
+    /// A job index was reported twice or out of range — a bug in the
+    /// pool itself, surfaced as an error so a long-running service can
+    /// log-and-continue instead of aborting.
+    CorruptCollection {
+        /// The offending submission index.
+        index: usize,
+    },
 }
 
-impl std::fmt::Display for BatchError {
+impl std::fmt::Display for HarnessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BatchError::DuplicateKey(k) => write!(f, "duplicate job key {k:?} in batch"),
+            HarnessError::DuplicateKey(k) => write!(f, "duplicate job key {k:?} in batch"),
+            HarnessError::LostJobs { missing, total } => write!(
+                f,
+                "worker pool lost {} of {total} jobs (first missing index {})",
+                missing.len(),
+                missing.first().copied().unwrap_or(0)
+            ),
+            HarnessError::CorruptCollection { index } => {
+                write!(f, "job {index} reported twice or out of range")
+            }
         }
     }
 }
 
-impl std::error::Error for BatchError {}
+impl std::error::Error for HarnessError {}
+
+/// Former name of [`HarnessError`], kept for existing callers.
+pub type BatchError = HarnessError;
 
 /// Worker threads the host can usefully run (`available_parallelism`,
 /// falling back to 1 when the platform cannot say).
@@ -55,6 +100,12 @@ pub struct BatchOptions<'a, O> {
     /// Root seed that [`crate::seed::derive_seed`] folds each job key
     /// into.
     pub root_seed: u64,
+    /// Bound on the worker→collector result channel. `0` (the default)
+    /// keeps the channel unbounded; a positive value makes workers
+    /// block once that many results are queued unconsumed, so a slow
+    /// sink back-pressures the whole pool instead of buffering without
+    /// limit. Does not affect results, only memory and pacing.
+    pub queue_capacity: usize,
     /// Per-completion progress callback.
     pub progress: Option<&'a mut dyn FnMut(Progress)>,
     /// Ordered streaming result sink.
@@ -66,6 +117,7 @@ impl<O> std::fmt::Debug for BatchOptions<'_, O> {
         f.debug_struct("BatchOptions")
             .field("workers", &self.workers)
             .field("root_seed", &self.root_seed)
+            .field("queue_capacity", &self.queue_capacity)
             .field("progress", &self.progress.is_some())
             .field("sink", &self.sink.is_some())
             .finish()
@@ -77,6 +129,7 @@ impl<O> Default for BatchOptions<'_, O> {
         BatchOptions {
             workers: 0,
             root_seed: 0x4843_5045_5246, // "HCPERF"
+            queue_capacity: 0,
             progress: None,
             sink: None,
         }
@@ -100,6 +153,13 @@ impl<'a, O> BatchOptions<'a, O> {
         self
     }
 
+    /// Bounds the worker→collector result queue (`0` = unbounded).
+    #[must_use]
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
     /// Attaches a progress callback.
     #[must_use]
     pub fn on_progress(mut self, progress: &'a mut dyn FnMut(Progress)) -> Self {
@@ -115,6 +175,17 @@ impl<'a, O> BatchOptions<'a, O> {
     }
 }
 
+/// What a streaming run reports once the last record has been sunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Jobs submitted.
+    pub total: usize,
+    /// Jobs that returned normally.
+    pub ok: usize,
+    /// Jobs that panicked (isolated into failure records).
+    pub panicked: usize,
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -125,31 +196,85 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs every job in `jobs` through `run` on a fixed pool of workers
-/// and returns the results in submission order.
-///
-/// `run` receives the job's input and its seed. A panicking job becomes
-/// a [`JobStatus::Panicked`] record — its worker and all sibling jobs
-/// carry on, and the pool still shuts down cleanly.
-///
-/// Determinism contract: the returned vector (and everything streamed
-/// to the sink) is bit-identical for any `workers` value, provided
-/// `run` itself is a pure function of `(input, seed)`.
-///
-/// # Errors
-///
-/// Returns [`BatchError::DuplicateKey`] before running anything if two
-/// jobs share a key.
-///
-/// # Panics
-///
-/// Panics if a worker thread's result channel disconnects early, which
-/// only a bug in the pool itself can cause.
-pub fn run_batch<I, O, F>(
+/// Either flavour of result sender; `send` blocks on the bounded one
+/// when the queue is full (the backpressure mechanism).
+enum ResultSender<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for ResultSender<T> {
+    fn clone(&self) -> Self {
+        match self {
+            ResultSender::Unbounded(tx) => ResultSender::Unbounded(tx.clone()),
+            ResultSender::Bounded(tx) => ResultSender::Bounded(tx.clone()),
+        }
+    }
+}
+
+impl<T> ResultSender<T> {
+    fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+        match self {
+            ResultSender::Unbounded(tx) => tx.send(value),
+            ResultSender::Bounded(tx) => tx.send(value),
+        }
+    }
+}
+
+/// Drains `rx`, firing `progress` in completion order and `on_ready` in
+/// strict submission order (out-of-order completions wait in a reorder
+/// window). Returns a structured error — never panics — when the
+/// channel closes early or an index arrives twice.
+fn collect_ordered<O>(
+    rx: &mpsc::Receiver<JobResult<O>>,
+    total: usize,
+    mut progress: Option<&mut dyn FnMut(Progress)>,
+    on_ready: &mut dyn FnMut(JobResult<O>),
+) -> Result<(), HarnessError> {
+    let mut pending: BTreeMap<usize, JobResult<O>> = BTreeMap::new();
+    let mut next_ready = 0usize;
+    let mut completed = 0usize;
+    while let Ok(result) = rx.recv() {
+        completed += 1;
+        if let Some(progress) = progress.as_deref_mut() {
+            progress(Progress {
+                completed,
+                total,
+                index: result.index,
+            });
+        }
+        let index = result.index;
+        if index >= total || index < next_ready || pending.contains_key(&index) {
+            return Err(HarnessError::CorruptCollection { index });
+        }
+        pending.insert(index, result);
+        while let Some(ready) = pending.remove(&next_ready) {
+            on_ready(ready);
+            next_ready += 1;
+        }
+    }
+    if next_ready != total {
+        // The channel closed with gaps: every undelivered index that is
+        // not parked in the reorder window was lost with its worker.
+        let missing: Vec<usize> = (next_ready..total)
+            .filter(|i| !pending.contains_key(i))
+            .collect();
+        return Err(HarnessError::LostJobs { missing, total });
+    }
+    Ok(())
+}
+
+/// The shared pool core: validates keys, fans `jobs` out over `workers`
+/// threads, and feeds results to `on_ready` in submission order.
+fn run_ordered<I, O, F>(
     jobs: &[Job<I>],
-    mut opts: BatchOptions<'_, O>,
+    workers: usize,
+    root_seed: u64,
+    queue_capacity: usize,
+    progress: Option<&mut dyn FnMut(Progress)>,
     run: F,
-) -> Result<Vec<JobResult<O>>, BatchError>
+    on_ready: &mut dyn FnMut(JobResult<O>),
+) -> Result<(), HarnessError>
 where
     I: Sync,
     O: Send,
@@ -160,29 +285,32 @@ where
         let mut seen = std::collections::HashSet::with_capacity(total);
         for job in jobs {
             if !seen.insert(job.key.as_str()) {
-                return Err(BatchError::DuplicateKey(job.key.clone()));
+                return Err(HarnessError::DuplicateKey(job.key.clone()));
             }
         }
     }
-    let workers = if opts.workers == 0 {
+    let workers = if workers == 0 {
         available_workers()
     } else {
-        opts.workers
+        workers
     }
     .min(total)
     .max(1);
 
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<JobResult<O>>();
-    let mut slots: Vec<Option<JobResult<O>>> = Vec::with_capacity(total);
-    slots.resize_with(total, || None);
+    let (tx, rx) = if queue_capacity == 0 {
+        let (tx, rx) = mpsc::channel::<JobResult<O>>();
+        (ResultSender::Unbounded(tx), rx)
+    } else {
+        let (tx, rx) = mpsc::sync_channel::<JobResult<O>>(queue_capacity);
+        (ResultSender::Bounded(tx), rx)
+    };
 
     thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let run = &run;
-            let root_seed = opts.root_seed;
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
@@ -205,42 +333,105 @@ where
             });
         }
         drop(tx);
+        // An early collection error drops `rx` when this closure returns,
+        // which unblocks any worker waiting on a bounded send; workers
+        // then see the send failure and exit, so the scope always joins.
+        collect_ordered(&rx, total, progress, on_ready)
+    })
+}
 
-        // Collect on the submitting thread: fire progress in completion
-        // order, stream to the sink in submission order.
-        let mut completed = 0;
-        let mut next_to_stream = 0;
-        for result in rx {
-            completed += 1;
-            if let Some(progress) = opts.progress.as_deref_mut() {
-                progress(Progress {
-                    completed,
-                    total,
-                    index: result.index,
-                });
+/// Runs every job in `jobs` through `run` on a fixed pool of workers
+/// and returns the results in submission order.
+///
+/// `run` receives the job's input and its seed. A panicking job becomes
+/// a [`JobStatus::Panicked`] record — its worker and all sibling jobs
+/// carry on, and the pool still shuts down cleanly.
+///
+/// Determinism contract: the returned vector (and everything streamed
+/// to the sink) is bit-identical for any `workers` value, provided
+/// `run` itself is a pure function of `(input, seed)`.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::DuplicateKey`] before running anything if
+/// two jobs share a key, [`HarnessError::LostJobs`] if a worker dies
+/// without reporting, and [`HarnessError::CorruptCollection`] if the
+/// pool itself misbehaves — collection never panics.
+pub fn run_batch<I, O, F>(
+    jobs: &[Job<I>],
+    mut opts: BatchOptions<'_, O>,
+    run: F,
+) -> Result<Vec<JobResult<O>>, HarnessError>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I, u64) -> O + Sync,
+{
+    let mut out: Vec<JobResult<O>> = Vec::with_capacity(jobs.len());
+    let mut sink = opts.sink.take();
+    run_ordered(
+        jobs,
+        opts.workers,
+        opts.root_seed,
+        opts.queue_capacity,
+        opts.progress.take(),
+        run,
+        &mut |result| {
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.record(&result);
             }
-            let index = result.index;
-            assert!(slots[index].is_none(), "job {index} reported twice");
-            slots[index] = Some(result);
-            if let Some(sink) = opts.sink.as_deref_mut() {
-                while let Some(Some(ready)) = slots.get(next_to_stream) {
-                    sink.record(ready);
-                    next_to_stream += 1;
-                }
-            }
-        }
-        assert_eq!(
-            completed,
-            total,
-            "worker pool lost {} jobs",
-            total - completed
-        );
-    });
+            out.push(result);
+        },
+    )?;
+    Ok(out)
+}
 
-    Ok(slots
-        .into_iter()
-        .map(|slot| slot.expect("all collected"))
-        .collect())
+/// [`run_batch`] without result retention: each [`JobResult`] is handed
+/// to the sink in submission order and then dropped, so memory stays
+/// bounded by the out-of-order reorder window rather than the batch
+/// size — the collection mode for fleet-scale runs. Pair it with
+/// [`BatchOptions::queue_capacity`] so a slow sink throttles the
+/// workers too.
+///
+/// # Errors
+///
+/// Same contract as [`run_batch`]: [`HarnessError::DuplicateKey`] up
+/// front, [`HarnessError::LostJobs`] / [`HarnessError::CorruptCollection`]
+/// from collection — never a panic.
+pub fn run_batch_streaming<I, O, F>(
+    jobs: &[Job<I>],
+    mut opts: BatchOptions<'_, O>,
+    run: F,
+) -> Result<StreamSummary, HarnessError>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I, u64) -> O + Sync,
+{
+    let mut summary = StreamSummary {
+        total: jobs.len(),
+        ok: 0,
+        panicked: 0,
+    };
+    let mut sink = opts.sink.take();
+    run_ordered(
+        jobs,
+        opts.workers,
+        opts.root_seed,
+        opts.queue_capacity,
+        opts.progress.take(),
+        run,
+        &mut |result| {
+            match result.status {
+                JobStatus::Ok(_) => summary.ok += 1,
+                JobStatus::Panicked(_) => summary.panicked += 1,
+            }
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.record(&result);
+            }
+        },
+    )?;
+    Ok(summary)
 }
 
 /// [`run_batch`] with default options and an explicit worker count —
@@ -248,16 +439,89 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`BatchError::DuplicateKey`] if two jobs share a key.
+/// Returns [`HarnessError::DuplicateKey`] if two jobs share a key, or a
+/// collection error ([`HarnessError::LostJobs`] /
+/// [`HarnessError::CorruptCollection`]) if the pool loses a job.
 pub fn run_batch_with<I, O, F>(
     jobs: &[Job<I>],
     workers: usize,
     run: F,
-) -> Result<Vec<JobResult<O>>, BatchError>
+) -> Result<Vec<JobResult<O>>, HarnessError>
 where
     I: Sync,
     O: Send,
     F: Fn(&I, u64) -> O + Sync,
 {
     run_batch(jobs, BatchOptions::with_workers(workers), run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn result(index: usize) -> JobResult<u32> {
+        JobResult {
+            index,
+            key: format!("job/{index}"),
+            seed: 1,
+            wall: Duration::ZERO,
+            status: JobStatus::Ok(index as u32),
+        }
+    }
+
+    /// Regression for the old `slot.expect("all collected")` panic: a
+    /// channel that closes before every job reports must produce a
+    /// structured [`HarnessError::LostJobs`], naming exactly the indices
+    /// that never arrived.
+    #[test]
+    fn early_channel_close_is_a_structured_error() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        tx.send(result(0)).unwrap();
+        tx.send(result(3)).unwrap();
+        drop(tx);
+        let mut delivered = Vec::new();
+        let err = collect_ordered(&rx, 5, None, &mut |r| delivered.push(r.index)).unwrap_err();
+        assert_eq!(
+            err,
+            HarnessError::LostJobs {
+                missing: vec![1, 2, 4],
+                total: 5
+            }
+        );
+        // The ordered prefix was still delivered before the error.
+        assert_eq!(delivered, vec![0]);
+        assert!(err.to_string().contains("lost 3 of 5"));
+    }
+
+    #[test]
+    fn duplicate_index_is_a_structured_error() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        tx.send(result(1)).unwrap();
+        tx.send(result(1)).unwrap();
+        drop(tx);
+        let err = collect_ordered(&rx, 3, None, &mut |_| {}).unwrap_err();
+        assert_eq!(err, HarnessError::CorruptCollection { index: 1 });
+    }
+
+    #[test]
+    fn out_of_range_index_is_a_structured_error() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        tx.send(result(9)).unwrap();
+        drop(tx);
+        let err = collect_ordered(&rx, 2, None, &mut |_| {}).unwrap_err();
+        assert_eq!(err, HarnessError::CorruptCollection { index: 9 });
+    }
+
+    #[test]
+    fn complete_stream_delivers_in_submission_order() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        for i in [2, 0, 1] {
+            tx.send(result(i)).unwrap();
+        }
+        drop(tx);
+        let mut delivered = Vec::new();
+        collect_ordered(&rx, 3, None, &mut |r| delivered.push(r.index)).unwrap();
+        assert_eq!(delivered, vec![0, 1, 2]);
+    }
 }

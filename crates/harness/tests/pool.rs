@@ -6,7 +6,8 @@ use std::sync::Mutex;
 
 use hcperf_harness::seed::{derive_seed, splitmix64};
 use hcperf_harness::{
-    run_batch, run_batch_with, BatchError, BatchOptions, Job, JobStatus, JsonlSink, Progress,
+    run_batch, run_batch_streaming, run_batch_with, BatchError, BatchOptions, Job, JobStatus,
+    JsonlSink, Progress,
 };
 
 /// A deterministic, seed-driven stand-in for a simulation: a short
@@ -141,6 +142,74 @@ fn progress_counts_every_completion() {
     let mut indices: Vec<usize> = seen.iter().map(|p| p.index).collect();
     indices.sort_unstable();
     assert_eq!(indices, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn streaming_run_matches_retained_run_byte_for_byte() {
+    let jobs = batch(29);
+    // Reference: the retained path, streamed through a sink.
+    let reference = {
+        let mut sink = JsonlSink::new(Vec::new(), |o: &u64| o.to_string()).timing(false);
+        {
+            let opts = BatchOptions::with_workers(1).stream_to(&mut sink);
+            run_batch(&jobs, opts, fake_sim).unwrap();
+        }
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    };
+    // Streaming path, with and without a bounded queue, at several
+    // worker counts, must produce identical bytes and a full summary.
+    for (workers, capacity) in [(1, 0), (2, 0), (8, 0), (2, 1), (8, 3)] {
+        let mut sink = JsonlSink::new(Vec::new(), |o: &u64| o.to_string()).timing(false);
+        let summary = {
+            let opts = BatchOptions::with_workers(workers)
+                .queue_capacity(capacity)
+                .stream_to(&mut sink);
+            run_batch_streaming(&jobs, opts, fake_sim).unwrap()
+        };
+        assert_eq!((summary.total, summary.ok, summary.panicked), (29, 29, 0));
+        let got = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(got, reference, "workers={workers} capacity={capacity}");
+    }
+}
+
+#[test]
+fn bounded_queue_backpressures_without_losing_results() {
+    // Queue capacity 1 with many workers forces senders to block on a
+    // deliberately slow sink; everything must still arrive in order.
+    let jobs = batch(24);
+    let mut seen = Vec::new();
+    let mut sink = |r: &hcperf_harness::JobResult<u64>| {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        seen.push((r.index, r.clone().into_ok().unwrap()));
+    };
+    let summary = {
+        let opts = BatchOptions::with_workers(8)
+            .queue_capacity(1)
+            .stream_to(&mut sink);
+        run_batch_streaming(&jobs, opts, fake_sim).unwrap()
+    };
+    assert_eq!(summary.ok, 24);
+    assert_eq!(seen.len(), 24);
+    let opts = BatchOptions::<u64>::default();
+    for (i, (index, value)) in seen.iter().enumerate() {
+        assert_eq!(*index, i);
+        let seed = derive_seed(opts.root_seed, &format!("cell/{i}"));
+        assert_eq!(*value, fake_sim(&(i as u64), seed));
+    }
+}
+
+#[test]
+fn streaming_counts_panicked_jobs() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let jobs = batch(10);
+    let summary = run_batch_streaming(&jobs, BatchOptions::with_workers(2), |&input, seed| {
+        assert!(input % 4 != 3, "boom");
+        fake_sim(&input, seed)
+    })
+    .unwrap();
+    std::panic::set_hook(prev);
+    assert_eq!((summary.total, summary.ok, summary.panicked), (10, 8, 2));
 }
 
 #[test]

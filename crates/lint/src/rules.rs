@@ -8,9 +8,11 @@ use crate::source::{mask, Waiver};
 pub struct RuleSet {
     /// `Instant` / `SystemTime` / `thread::sleep`.
     pub wall_clock: bool,
-    /// `HashMap` / `HashSet`, `thread_rng`-style entropy, float `==`, and
-    /// the `unwrap()`/`expect()` ratchet — the deterministic-crate rules.
+    /// `HashMap` / `HashSet`, `thread_rng`-style entropy, and float `==`
+    /// — the deterministic-crate rules.
     pub determinism: bool,
+    /// The `unwrap()`/`expect()` ratchet (panic-surface accounting).
+    pub unwrap_ratchet: bool,
 }
 
 impl RuleSet {
@@ -18,12 +20,23 @@ impl RuleSet {
     pub const FULL: RuleSet = RuleSet {
         wall_clock: true,
         determinism: true,
+        unwrap_ratchet: true,
     };
     /// Wall-clock only (crates that orchestrate but must not time things
     /// themselves: `cli`, `lint`, the umbrella `src/`).
     pub const WALL_CLOCK_ONLY: RuleSet = RuleSet {
         wall_clock: true,
         determinism: false,
+        unwrap_ratchet: false,
+    };
+    /// Unwrap ratchet only: crates that legitimately read wall clocks
+    /// (the harness times real execution) but whose library code must
+    /// stay panic-free — a worker pool that panics takes a fleet run
+    /// down with it.
+    pub const RATCHET_ONLY: RuleSet = RuleSet {
+        wall_clock: false,
+        determinism: false,
+        unwrap_ratchet: true,
     };
 }
 
@@ -113,7 +126,7 @@ pub fn scan_file(path: &str, source: &str, rules: RuleSet) -> FileScan {
         }
     }
 
-    let unwrap_count = if rules.determinism {
+    let unwrap_count = if rules.unwrap_ratchet {
         count_unwraps(&masked.masked, &masked.waivers)
     } else {
         0

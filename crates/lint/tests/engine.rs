@@ -119,6 +119,7 @@ fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> Pat
         "crates/core/src",
         "crates/cli/src",
         "crates/lint/src",
+        "crates/harness/src",
         "src",
     ] {
         fs::create_dir_all(root.join(dir)).expect("mkdir");

@@ -94,28 +94,104 @@ pub fn slots(trace: &Trace) -> Vec<GanttSlot> {
     out
 }
 
+/// Rendering rejected a degenerate timeline request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RenderError {
+    /// `resolution` was zero, negative, or non-finite. A non-finite
+    /// resolution used to saturate `inf as usize` in the column math and
+    /// attempt an enormous allocation.
+    BadResolution(f64),
+    /// `until` was negative or non-finite.
+    BadHorizon(f64),
+    /// `until / resolution` exceeds [`MAX_COLUMNS`]; a finer resolution at
+    /// this horizon would allocate an unreasonable amount of text.
+    TooManyColumns {
+        /// Columns the request would need.
+        requested: usize,
+        /// The hard cap ([`MAX_COLUMNS`]).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::BadResolution(r) => {
+                write!(f, "resolution must be positive and finite, got {r}")
+            }
+            RenderError::BadHorizon(u) => {
+                write!(f, "render horizon must be non-negative and finite, got {u}")
+            }
+            RenderError::TooManyColumns { requested, max } => {
+                write!(f, "{requested} columns requested, cap is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Upper bound on rendered columns per row (1 MiB of text per processor).
+pub const MAX_COLUMNS: usize = 1 << 20;
+
 /// Renders per-processor timelines as fixed-resolution text rows.
 ///
-/// Each column covers `resolution` seconds; a slot prints the first letter
-/// of its task's name (uppercase if the deadline was met, `!` marks a slot
-/// that finished late). Idle time prints `.`.
-#[must_use]
-pub fn render(trace: &Trace, graph: &TaskGraph, until: SimTime, resolution: f64) -> String {
-    assert!(resolution > 0.0, "resolution must be positive");
+/// Each column covers `resolution` seconds; the last column may cover less
+/// when `until` is not a multiple of `resolution` (the column count is
+/// `ceil(until / resolution)`). A slot prints the first letter of its
+/// task's name (uppercase if the deadline was met, `!` marks a slot that
+/// finished late). Idle time prints `.`. Slots dispatched at or after
+/// `until` are outside the rendered window and are skipped.
+///
+/// # Errors
+///
+/// Returns [`RenderError`] for a zero/negative/non-finite `resolution`, a
+/// negative/non-finite `until`, or a request for more than [`MAX_COLUMNS`]
+/// columns — all inputs that previously panicked or tried to allocate an
+/// absurd grid.
+pub fn render(
+    trace: &Trace,
+    graph: &TaskGraph,
+    until: SimTime,
+    resolution: f64,
+) -> Result<String, RenderError> {
+    if !(resolution.is_finite() && resolution > 0.0) {
+        return Err(RenderError::BadResolution(resolution));
+    }
+    let horizon = until.as_secs();
+    if !(horizon.is_finite() && horizon >= 0.0) {
+        return Err(RenderError::BadHorizon(horizon));
+    }
+    let columns_f = (horizon / resolution).ceil();
+    if columns_f > MAX_COLUMNS as f64 {
+        return Err(RenderError::TooManyColumns {
+            requested: if columns_f.is_finite() {
+                columns_f as usize
+            } else {
+                usize::MAX
+            },
+            max: MAX_COLUMNS,
+        });
+    }
+    let columns = columns_f as usize;
     let slots = slots(trace);
     let processors = slots.iter().map(|s| s.processor + 1).max().unwrap_or(1);
-    let columns = (until.as_secs() / resolution).ceil() as usize;
     let mut rows = vec![vec!['.'; columns]; processors];
     for slot in &slots {
-        let end = slot.end.unwrap_or(until).as_secs().min(until.as_secs());
-        let start_col = (slot.start.as_secs() / resolution).floor() as usize;
-        let end_col = ((end / resolution).ceil() as usize).max(start_col + 1);
+        if slot.start.as_secs() >= horizon {
+            continue;
+        }
+        let end = slot.end.unwrap_or(until).as_secs().min(horizon);
+        let start_col = ((slot.start.as_secs() / resolution).floor() as usize).min(columns);
+        let end_col = ((end / resolution).ceil() as usize)
+            .max(start_col + 1)
+            .min(columns);
         let name = graph.spec(slot.task).name();
         let letter = match slot.met_deadline {
             Some(false) => '!',
             _ => name.chars().next().unwrap_or('?').to_ascii_uppercase(),
         };
-        for cell in &mut rows[slot.processor][start_col..end_col.min(columns)] {
+        for cell in &mut rows[slot.processor][start_col..end_col] {
             *cell = letter;
         }
     }
@@ -123,7 +199,7 @@ pub fn render(trace: &Trace, graph: &TaskGraph, until: SimTime, resolution: f64)
     for (p, row) in rows.iter().enumerate() {
         let _ = writeln!(out, "p{p} |{}|", row.iter().collect::<String>());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -183,7 +259,7 @@ mod tests {
         let mut s = sim();
         s.run_until(SimTime::from_millis(200.0));
         let g = s.graph().clone();
-        let text = render(s.trace(), &g, SimTime::from_millis(200.0), 0.01);
+        let text = render(s.trace(), &g, SimTime::from_millis(200.0), 0.01).unwrap();
         assert!(text.contains("p0 |"));
         assert!(text.contains("p1 |"));
         assert!(text.contains('A'));
@@ -223,7 +299,7 @@ mod tests {
         .unwrap();
         s.run_until(SimTime::from_millis(300.0));
         let g = s.graph().clone();
-        let text = render(s.trace(), &g, SimTime::from_millis(300.0), 0.005);
+        let text = render(s.trace(), &g, SimTime::from_millis(300.0), 0.005).unwrap();
         assert!(
             text.contains('!'),
             "late executions must be marked:\n{text}"
@@ -231,10 +307,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "resolution must be positive")]
-    fn render_rejects_zero_resolution() {
+    fn render_rejects_degenerate_resolutions_without_panicking() {
+        // Regression: zero resolution used to assert, and a non-finite one
+        // saturated `inf as usize` into a huge allocation attempt. Both are
+        // structured errors now — a fleet service must survive them.
         let s = sim();
         let g = s.graph().clone();
-        let _ = render(s.trace(), &g, SimTime::from_millis(100.0), 0.0);
+        let until = SimTime::from_millis(100.0);
+        assert_eq!(
+            render(s.trace(), &g, until, 0.0),
+            Err(RenderError::BadResolution(0.0))
+        );
+        assert_eq!(
+            render(s.trace(), &g, until, -0.5),
+            Err(RenderError::BadResolution(-0.5))
+        );
+        assert!(matches!(
+            render(s.trace(), &g, until, f64::NAN),
+            Err(RenderError::BadResolution(_))
+        ));
+        assert!(matches!(
+            render(s.trace(), &g, until, f64::INFINITY),
+            Err(RenderError::BadResolution(_))
+        ));
+        // A positive-but-tiny resolution must refuse the giant grid rather
+        // than allocate it.
+        assert!(matches!(
+            render(s.trace(), &g, until, 1e-12),
+            Err(RenderError::TooManyColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn render_column_count_rounds_up_when_until_is_off_grid() {
+        // Off-by-one check: 205 ms at 10 ms per column needs ceil(20.5) = 21
+        // columns, and a slot running up to the ragged last column must not
+        // index past the row.
+        let mut s = sim();
+        s.run_until(SimTime::from_millis(205.0));
+        let g = s.graph().clone();
+        let text = render(s.trace(), &g, SimTime::from_millis(205.0), 0.01).unwrap();
+        let first = text.lines().next().unwrap();
+        assert_eq!(first.len(), "p0 ||".len() + 21, "{text}");
+        // Every row has the same ragged-column width.
+        for line in text.lines() {
+            assert_eq!(line.len(), first.len());
+        }
+    }
+
+    #[test]
+    fn render_skips_slots_dispatched_past_the_horizon() {
+        // The trace extends to 350 ms but we render only the first 100 ms:
+        // slots dispatched beyond the horizon used to produce a start
+        // column past the row end and panic on the slice.
+        let mut s = sim();
+        s.run_until(SimTime::from_millis(350.0));
+        let g = s.graph().clone();
+        let text = render(s.trace(), &g, SimTime::from_millis(100.0), 0.01).unwrap();
+        let first = text.lines().next().unwrap();
+        assert_eq!(first.len(), "p0 ||".len() + 10);
     }
 }

@@ -37,8 +37,9 @@ pub mod stats;
 pub mod trace;
 pub mod trace_json;
 
+pub use gantt::RenderError;
 pub use job::{ControlCommand, Job, JobId, JobOutcome};
 pub use scheduler::{FifoScheduler, SchedContext, Scheduler};
 pub use sim::{JoinPolicy, Sim, SimConfig, SimError, SimSnapshot};
-pub use stats::{SimStats, TaskStats, WindowStats};
+pub use stats::{percentile, SimStats, TaskStats, WindowStats};
 pub use trace::{Trace, TraceEvent};

@@ -263,21 +263,15 @@ impl SimStats {
 
     /// Percentile of the control-task response times (nearest-rank), e.g.
     /// `p = 0.99` for the tail the paper's responsiveness study cares
-    /// about. `None` when no command has been emitted.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < p <= 1`.
+    /// about. `None` when no command has been emitted or `p` is outside
+    /// `(0, 1]`.
     #[must_use]
     pub fn response_time_percentile(&self, p: f64) -> Option<SimSpan> {
         percentile(&self.response_samples, p).map(SimSpan::from_secs)
     }
 
-    /// Percentile of the end-to-end latencies (nearest-rank).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < p <= 1`.
+    /// Percentile of the end-to-end latencies (nearest-rank). `None` when
+    /// no latency was recorded or `p` is outside `(0, 1]`.
     #[must_use]
     pub fn end_to_end_percentile(&self, p: f64) -> Option<SimSpan> {
         percentile(&self.e2e_samples, p).map(SimSpan::from_secs)
@@ -310,15 +304,24 @@ impl SimStats {
 }
 
 /// Nearest-rank percentile of unsorted samples.
-fn percentile(samples: &[f64], p: f64) -> Option<f64> {
-    assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
-    if samples.is_empty() {
+///
+/// Total by construction — the degenerate inputs a long-running service
+/// will eventually produce (an empty sample set from a vehicle that never
+/// emitted a command, a `NaN` percentile from a bad config) all map to
+/// `None` instead of a panic. Public so fleet-level aggregation can reuse
+/// the exact same nearest-rank definition the per-run stats report.
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    // `!(p > 0.0)` (rather than `p <= 0.0`) also rejects NaN.
+    if samples.is_empty() || !(p > 0.0 && p <= 1.0) {
         return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
+    let rank = ((p * sorted.len() as f64).ceil() as usize)
+        .max(1)
+        .min(sorted.len());
+    sorted.get(rank - 1).copied()
 }
 
 #[cfg(test)]
@@ -417,10 +420,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile must be in")]
-    fn percentile_rejects_zero() {
+    fn percentile_is_none_for_invalid_p() {
+        // Regression: these used to assert/panic, which is fatal for a
+        // long-running fleet service fed degenerate per-vehicle results.
+        let mut s = SimStats::new(1, 1);
+        s.on_command(SimSpan::from_millis(10.0), SimSpan::from_millis(100.0));
+        assert!(s.response_time_percentile(0.0).is_none());
+        assert!(s.response_time_percentile(-0.5).is_none());
+        assert!(s.response_time_percentile(1.5).is_none());
+        assert!(s.response_time_percentile(f64::NAN).is_none());
+        assert!(s.response_time_percentile(0.99).is_some());
+    }
+
+    #[test]
+    fn percentile_is_none_for_empty_samples() {
+        // Regression: the nearest-rank clamp asserted `min <= max` on an
+        // empty sample set; it must report "no data" instead.
+        assert_eq!(percentile(&[], 0.99), None);
+        assert_eq!(percentile(&[], 1.0), None);
         let s = SimStats::new(1, 1);
-        let _ = s.response_time_percentile(0.0);
+        assert!(s.response_time_percentile(0.99).is_none());
+        assert!(s.end_to_end_percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn percentile_handles_single_sample_and_extremes() {
+        assert_eq!(percentile(&[7.0], 0.01), Some(7.0));
+        assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
     }
 
     #[test]

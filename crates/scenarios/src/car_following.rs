@@ -270,6 +270,8 @@ pub enum ScenarioError {
     /// A parallel experiment job crashed; the harness converted the
     /// panic into this structured failure instead of killing the batch.
     Job(String),
+    /// Streaming results to an output sink failed (I/O).
+    Sink(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -279,6 +281,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Sim(e) => write!(f, "simulator: {e}"),
             ScenarioError::Coordinator(e) => write!(f, "coordinator: {e}"),
             ScenarioError::Job(msg) => write!(f, "experiment job: {msg}"),
+            ScenarioError::Sink(msg) => write!(f, "result sink: {msg}"),
         }
     }
 }

@@ -118,6 +118,11 @@ pub struct LaneKeepingResult {
     pub commands: u64,
     /// Whole-run deadline miss ratio.
     pub overall_miss_ratio: f64,
+    /// Mean end-to-end (source release → command) latency in
+    /// milliseconds — comparable across scenarios in fleet aggregates.
+    pub mean_e2e_ms: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub e2e_p99_ms: f64,
     /// Lateral offset over time (Fig. 14b).
     pub lateral_offset: TimeSeries,
     /// Arc position over time (locating the turns).
@@ -218,6 +223,8 @@ pub fn run_lane_keeping(config: &LaneKeepingConfig) -> Result<LaneKeepingResult,
         max_lateral_offset: 0.0,
         commands: 0,
         overall_miss_ratio: 0.0,
+        mean_e2e_ms: 0.0,
+        e2e_p99_ms: 0.0,
         lateral_offset: TimeSeries::new("lateral_offset"),
         arc_position: TimeSeries::new("arc_position"),
         miss_ratio: TimeSeries::new("miss_ratio"),
@@ -298,6 +305,11 @@ pub fn run_lane_keeping(config: &LaneKeepingConfig) -> Result<LaneKeepingResult,
         0.0
     };
     result.overall_miss_ratio = sim.stats().totals().miss_ratio();
+    result.mean_e2e_ms = sim.stats().mean_end_to_end().map_or(0.0, |d| d.as_millis());
+    result.e2e_p99_ms = sim
+        .stats()
+        .end_to_end_percentile(0.99)
+        .map_or(0.0, |d| d.as_millis());
     Ok(result)
 }
 

@@ -7,6 +7,9 @@
 //! * [`car_following`] — § VII-B1 simulation and § VII-B3 hardware
 //!   (Fig. 13/15, Tables II/III/V/VI);
 //! * [`lane_keeping`] — § VII-B2 oval loop (Fig. 14, Table IV);
+//! * [`fleet`] — the fleet-scale streaming simulation service behind
+//!   `hcperf fleet`: N vehicles sharded over the harness pool with
+//!   bit-reproducible JSONL output and running aggregates;
 //! * [`motivation`] — the § II red-light study (Fig. 4);
 //! * [`traffic_jam`] — the § VII-C responsiveness/throughput study
 //!   (Fig. 16/17);
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod car_following;
+pub mod fleet;
 pub mod lane_keeping;
 pub mod metrics;
 pub mod motivation;
@@ -42,6 +46,7 @@ pub mod sweep;
 pub mod traffic_jam;
 
 pub use car_following::{run_car_following, CarFollowingConfig, CarFollowingResult, ScenarioError};
+pub use fleet::{run_fleet, FleetAggregate, FleetConfig, FleetPreset, FleetSummary, VehicleRecord};
 pub use lane_keeping::{run_lane_keeping, LaneKeepingConfig, LaneKeepingResult};
 pub use metrics::TimeSeries;
 pub use motivation::{run_motivation, MotivationConfig, MotivationResult};

@@ -5,6 +5,7 @@
 
 use hcperf_suite::core::Scheme;
 use hcperf_suite::scenarios::car_following::CarFollowingConfig;
+use hcperf_suite::scenarios::fleet::{run_fleet, FleetConfig, FleetPreset};
 use hcperf_suite::scenarios::runner::{
     compare_car_following, compare_car_following_parallel, compare_car_following_seeded,
     compare_car_following_seeded_parallel, compare_lane_keeping, compare_lane_keeping_parallel,
@@ -61,6 +62,41 @@ fn scheme_comparison_is_bit_identical_across_worker_counts() {
             assert_eq!(s.rms_distance_error, p.rms_distance_error);
             assert_eq!(s.overall_miss_ratio, p.overall_miss_ratio);
             assert_eq!(s.mean_e2e_ms, p.mean_e2e_ms);
+        }
+    }
+}
+
+/// The fleet-service contract at scale: a 1000-vehicle run — every
+/// vehicle its own simulation + coordinator stack with a key-derived
+/// seed — streams **byte-identical** per-vehicle and aggregate JSONL for
+/// 1, 2 and 8 workers, including through a bounded (backpressured)
+/// result queue.
+#[test]
+fn fleet_jsonl_stream_is_bit_identical_across_worker_counts() {
+    let mut config = FleetConfig::new(FleetPreset::CarFollowing, 1000);
+    config.duration = 0.5; // short per-vehicle horizon keeps 3×1000 sims fast
+    config.aggregate_every = 250;
+    config.queue_capacity = 64;
+
+    let mut reference: Option<(String, usize)> = None;
+    for workers in WORKER_MATRIX {
+        config.workers = workers;
+        let mut buf = Vec::new();
+        let summary = run_fleet(&config, &mut buf).unwrap();
+        assert_eq!(summary.vehicles, 1000, "workers={workers}");
+        assert_eq!(summary.ok, 1000, "workers={workers}");
+        assert_eq!(summary.panicked, 0, "workers={workers}");
+        let text = String::from_utf8(buf).unwrap();
+        // 1000 vehicle lines + aggregates at 250/500/750/1000.
+        assert_eq!(text.lines().count(), 1004, "workers={workers}");
+        match &reference {
+            None => reference = Some((text, workers)),
+            Some((reference, ref_workers)) => {
+                assert_eq!(
+                    &text, reference,
+                    "fleet stream differs between {ref_workers} and {workers} workers"
+                );
+            }
         }
     }
 }

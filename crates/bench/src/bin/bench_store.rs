@@ -1,0 +1,188 @@
+//! Wall-clock cost of the `hcperf-store` cache layer, recorded as
+//! `BENCH_store.json`.
+//!
+//! Three timed passes over the same batch of independent car-following
+//! cells (the `fig15_hardware` fan-out shape, `record_series = false`):
+//!
+//! * **uncached** — the plain harness pool, no store attached. The
+//!   baseline every other pass is compared against.
+//! * **cold store** — a fresh log: every cell misses, simulates, and is
+//!   appended (fsynced once at the end of the run). `cold − uncached`
+//!   is the store's append overhead.
+//! * **warm store** — the same log reopened: every cell is served from
+//!   disk without simulating. `uncached / warm` is the cache-hit
+//!   speedup a resumed run enjoys.
+//!
+//! The serialized results of all three passes must be bit-identical
+//! before any timing is trusted.
+//!
+//! ```sh
+//! cargo run --release -p hcperf-bench --bin bench_store [-- --jobs N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hcperf::Scheme;
+use hcperf_harness::{available_workers, run_batch, BatchOptions, Job, JobResult};
+use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig, CarFollowingResult};
+use hcperf_scenarios::ScenarioError;
+use hcperf_store::{fingerprint, CellCache, RunSummary, Store};
+
+const SEEDS: [u64; 2] = [42, 7];
+
+type CellOutput = Result<CarFollowingResult, ScenarioError>;
+
+fn cells() -> Vec<Job<(Scheme, u64)>> {
+    Scheme::all()
+        .into_iter()
+        .flat_map(|scheme| SEEDS.iter().map(move |&seed| (scheme, seed)))
+        .map(|(scheme, seed)| {
+            Job::with_seed(format!("scheme={scheme}/seed={seed}"), (scheme, seed), seed)
+        })
+        .collect()
+}
+
+fn run_cell(&(scheme, seed): &(Scheme, u64)) -> CellOutput {
+    let mut config = CarFollowingConfig::hardware(scheme);
+    config.seed = seed;
+    config.record_series = false;
+    // Long enough that a cell is tens of milliseconds of real work, so
+    // the cold pass measures append overhead against real simulation
+    // time rather than thread-pool constants.
+    config.duration = 120.0;
+    run_car_following(&config)
+}
+
+fn encode(output: &CellOutput) -> Option<String> {
+    serde_json::to_string(output.as_ref().ok()?).ok()
+}
+
+fn decode(payload: &str) -> Option<CellOutput> {
+    Some(Ok(serde_json::from_str::<CarFollowingResult>(payload).ok()?))
+}
+
+/// Serializes every result — the bit-identity witness across passes.
+fn payloads(
+    results: Vec<JobResult<CellOutput>>,
+) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    results
+        .into_iter()
+        .map(|r| {
+            let output = r.into_ok().map_err(ScenarioError::Job)??;
+            Ok(serde_json::to_string(&output)?)
+        })
+        .collect()
+}
+
+/// One timed pass through the pool with the store attached.
+fn cached_pass(
+    jobs: &[Job<(Scheme, u64)>],
+    workers: usize,
+    store: &mut Store,
+) -> Result<(Duration, Vec<String>, RunSummary), Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    let mut cache = CellCache::new(store, fingerprint(&["bench_store", "v1"]), encode, decode);
+    let results = run_batch(
+        jobs,
+        BatchOptions::with_workers(workers).cached(&mut cache),
+        |input, _| run_cell(input),
+    )?;
+    let summary = cache.finish()?;
+    let wall = start.elapsed();
+    Ok((wall, payloads(results)?, summary))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = cells();
+    let requested = hcperf_bench::jobs_from_cli();
+    let workers = if requested == 0 {
+        available_workers()
+    } else {
+        requested
+    };
+    let path =
+        std::env::temp_dir().join(format!("hcperf_bench_store_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Untimed warmup so the baseline isn't penalized for first-touch
+    // page faults and allocator growth relative to the later passes.
+    run_batch(&jobs, BatchOptions::with_workers(workers), |input, _| {
+        run_cell(input)
+    })?;
+
+    println!("uncached baseline: {} cells, {workers} workers", jobs.len());
+    let start = Instant::now();
+    let baseline = run_batch(&jobs, BatchOptions::with_workers(workers), |input, _| {
+        run_cell(input)
+    })?;
+    let uncached_wall = start.elapsed();
+    let uncached = payloads(baseline)?;
+
+    println!("cold store pass (every cell appended)");
+    let mut store = Store::open(&path)?;
+    let (cold_wall, cold, cold_summary) = cached_pass(&jobs, workers, &mut store)?;
+    assert_eq!(
+        (cold_summary.hits, cold_summary.misses),
+        (0, jobs.len()),
+        "cold pass must miss every cell"
+    );
+    assert_eq!(cold, uncached, "cold store pass is not bit-identical");
+    drop(store);
+    let store_bytes = std::fs::metadata(&path)?.len();
+
+    println!("warm store pass (every cell replayed from disk)");
+    let mut store = Store::open(&path)?;
+    let (warm_wall, warm, warm_summary) = cached_pass(&jobs, workers, &mut store)?;
+    assert_eq!(
+        (warm_summary.hits, warm_summary.misses),
+        (jobs.len(), 0),
+        "warm pass must hit every cell"
+    );
+    assert_eq!(warm, uncached, "warm store pass is not bit-identical");
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+
+    let overhead_pct = (cold_wall.as_secs_f64() - uncached_wall.as_secs_f64())
+        / uncached_wall.as_secs_f64()
+        * 100.0;
+    let speedup = uncached_wall.as_secs_f64() / warm_wall.as_secs_f64();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hcperf-store result cache\",");
+    let _ = writeln!(
+        json,
+        "  \"methodology\": {{\n    \"batch\": \"{} independent car-following cells (5 schemes x {} seeds), CarFollowingConfig::hardware, duration 120 s, record_series=false — the fig15 fan-out shape\",\n    \"passes\": \"uncached pool baseline; cold pass against a fresh store (all misses, log appended + fsynced); warm pass against the reopened store (all hits, zero simulation)\",\n    \"identity\": \"serialized results of all three passes asserted bit-identical before timing is trusted\",\n    \"host_available_parallelism\": {},\n    \"command\": \"cargo run --release -p hcperf-bench --bin bench_store\"\n  }},",
+        jobs.len(),
+        SEEDS.len(),
+        available_workers()
+    );
+    let _ = writeln!(json, "  \"results\": {{");
+    let _ = writeln!(
+        json,
+        "    \"uncached\": {{ \"cells\": {}, \"workers\": {workers}, \"wall_s\": {:.3} }},",
+        jobs.len(),
+        uncached_wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_store\": {{ \"wall_s\": {:.3}, \"append_overhead_pct\": {overhead_pct:.2}, \"log_bytes\": {store_bytes} }},",
+        cold_wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_store\": {{ \"wall_s\": {:.4}, \"hit_ratio\": 1.0, \"speedup_vs_uncached\": {speedup:.1}, \"bit_identical\": true }}",
+        warm_wall.as_secs_f64()
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"Append overhead is bounded by one buffered JSONL line per cell plus one fsync per run, so it shrinks as cells get more expensive; the warm speedup is the ratio a fully-resumed run enjoys and grows with cell cost.\""
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_store.json", &json)?;
+    println!(
+        "wrote BENCH_store.json (append overhead {overhead_pct:+.2}%, warm speedup {speedup:.1}x)"
+    );
+    Ok(())
+}

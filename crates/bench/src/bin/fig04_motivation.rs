@@ -1,8 +1,9 @@
 //! Regenerates Fig. 4 — the § II motivation study.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = hcperf_bench::store_from_cli()?;
     print!(
         "{}",
-        hcperf_bench::experiments::fig04_motivation(hcperf_bench::jobs_from_cli())?
+        hcperf_bench::experiments::fig04_motivation(hcperf_bench::jobs_from_cli(), store.as_mut())?
     );
     Ok(())
 }

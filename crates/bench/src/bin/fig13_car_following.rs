@@ -1,8 +1,12 @@
 //! Regenerates Fig. 13 and Tables II/III — simulation car following.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = hcperf_bench::store_from_cli()?;
     print!(
         "{}",
-        hcperf_bench::experiments::fig13_car_following(hcperf_bench::jobs_from_cli())?
+        hcperf_bench::experiments::fig13_car_following(
+            hcperf_bench::jobs_from_cli(),
+            store.as_mut()
+        )?
     );
     Ok(())
 }

@@ -1,8 +1,12 @@
 //! Regenerates Fig. 14 and Table IV — lane keeping.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = hcperf_bench::store_from_cli()?;
     print!(
         "{}",
-        hcperf_bench::experiments::fig14_lane_keeping(hcperf_bench::jobs_from_cli())?
+        hcperf_bench::experiments::fig14_lane_keeping(
+            hcperf_bench::jobs_from_cli(),
+            store.as_mut()
+        )?
     );
     Ok(())
 }

@@ -1,8 +1,9 @@
 //! Regenerates Fig. 15 and Tables V/VI — hardware car following.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = hcperf_bench::store_from_cli()?;
     print!(
         "{}",
-        hcperf_bench::experiments::fig15_hardware(hcperf_bench::jobs_from_cli())?
+        hcperf_bench::experiments::fig15_hardware(hcperf_bench::jobs_from_cli(), store.as_mut())?
     );
     Ok(())
 }

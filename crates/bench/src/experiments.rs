@@ -12,6 +12,11 @@
 //! bit-identical to the old sequential loops for any worker count:
 //! every cell keeps its sequential seed and results are collected in
 //! submission order before anything is written.
+//!
+//! The same figures also take an optional [`hcperf_store::Store`]:
+//! cells finished by an earlier run are then served from disk instead
+//! of re-simulated. Cache activity is reported on stderr so the stdout
+//! report stays byte-identical with and without a store.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -24,6 +29,7 @@ use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
 use hcperf_scenarios::report::{improvement_over_best_baseline, pairs_to_csv, series_to_csv};
 use hcperf_scenarios::traffic_jam::{analyze_responsiveness, traffic_jam_config};
 use hcperf_scenarios::ScenarioError;
+use hcperf_store::{fingerprint, CellCache, RunSummary, Store};
 use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
 use hcperf_taskgraph::{ExecContext, SimTime};
 use rand::rngs::StdRng;
@@ -69,6 +75,66 @@ where
         .collect()
 }
 
+/// Code-version tag baked into every figure fingerprint. Bump it
+/// whenever a figure's simulation changes results — stale cells from
+/// the old code then miss instead of contaminating the new run.
+pub const FIG_CODE_VERSION: &str = "figs-v1";
+
+/// [`fan_out`] with an optional [`Store`]: cells already `done` under
+/// this figure's fingerprint are replayed from disk bit-identically;
+/// fresh results are appended for the next run. Panicked cells are
+/// recorded as `failed` and retried on resume. Without a store this is
+/// exactly [`fan_out`].
+fn fan_out_cached<I, O>(
+    figure: &str,
+    cells: &[Job<I>],
+    workers: usize,
+    store: Option<&mut Store>,
+    run: impl Fn(&I) -> Result<O, ScenarioError> + Sync,
+) -> Result<(Vec<O>, Option<RunSummary>), ScenarioError>
+where
+    I: Sync,
+    O: Send + serde::Serialize + serde::Deserialize,
+{
+    let Some(store) = store else {
+        return Ok((fan_out(cells, workers, run)?, None));
+    };
+    // Only Ok payloads are cached; a cell whose scenario errored is
+    // recorded as `failed` (by the cache's `put`) and retried next run.
+    let mut cache = CellCache::new(
+        store,
+        fingerprint(&[figure, FIG_CODE_VERSION]),
+        |o: &Result<O, ScenarioError>| serde_json::to_string(o.as_ref().ok()?).ok(),
+        |payload: &str| Some(Ok(serde_json::from_str::<O>(payload).ok()?)),
+    );
+    let results = run_batch(
+        cells,
+        BatchOptions::with_workers(workers).cached(&mut cache),
+        |input, _| run(input),
+    )
+    .map_err(|e| ScenarioError::Job(e.to_string()))?;
+    let summary = cache
+        .finish()
+        .map_err(|e| ScenarioError::Job(format!("store: {e}")))?;
+    let outputs = results
+        .into_iter()
+        .map(|r| r.into_ok().map_err(ScenarioError::Job)?)
+        .collect::<Result<Vec<O>, ScenarioError>>()?;
+    Ok((outputs, Some(summary)))
+}
+
+/// Notes cache activity on stderr — stderr, so the stdout report is
+/// byte-identical whether cells were simulated or replayed.
+fn report_cache_use(figure: &str, summary: Option<&RunSummary>) {
+    if let Some(s) = summary {
+        eprintln!(
+            "{figure}: store served {} of {} cells",
+            s.hits,
+            s.hits + s.misses
+        );
+    }
+}
+
 /// Fig. 4 — the § II motivation study under fixed-priority scheduling, and
 /// the same scenario under HCPerf for contrast. The two scheme cells run
 /// through the harness pool (`jobs = 0` = host parallelism).
@@ -76,7 +142,7 @@ where
 /// # Errors
 ///
 /// Propagates [`ScenarioError`] from the scenario runs.
-pub fn fig04_motivation(jobs: usize) -> Result<String, ScenarioError> {
+pub fn fig04_motivation(jobs: usize, store: Option<&mut Store>) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -87,12 +153,13 @@ pub fn fig04_motivation(jobs: usize) -> Result<String, ScenarioError> {
         .iter()
         .map(|&scheme| Job::new(format!("fig04/scheme={scheme}"), scheme))
         .collect();
-    let runs = fan_out(&cells, jobs, |&scheme| {
+    let (runs, cached) = fan_out_cached("fig04", &cells, jobs, store, |&scheme| {
         run_motivation(&MotivationConfig {
             scheme,
             ..Default::default()
         })
     })?;
+    report_cache_use("fig04", cached.as_ref());
     for (scheme, r) in schemes.into_iter().zip(runs) {
         let _ = writeln!(
             out,
@@ -212,7 +279,10 @@ pub fn fig12_exec_times() -> Result<String, hcperf_taskgraph::GraphError> {
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig13_car_following(jobs: usize) -> Result<String, ScenarioError> {
+pub fn fig13_car_following(
+    jobs: usize,
+    store: Option<&mut Store>,
+) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -224,9 +294,10 @@ pub fn fig13_car_following(jobs: usize) -> Result<String, ScenarioError> {
         .into_iter()
         .map(|scheme| Job::new(format!("fig13/scheme={scheme}"), scheme))
         .collect();
-    let runs = fan_out(&cells, jobs, |&scheme| {
+    let (runs, cached) = fan_out_cached("fig13", &cells, jobs, store, |&scheme| {
         run_car_following(&CarFollowingConfig::paper_simulation(scheme))
     })?;
+    report_cache_use("fig13", cached.as_ref());
     for (scheme, r) in Scheme::all().into_iter().zip(runs) {
         speed_rows.push((scheme.to_string(), r.rms_speed_error));
         dist_rows.push((scheme.to_string(), r.rms_distance_error));
@@ -287,7 +358,7 @@ pub fn fig13_car_following(jobs: usize) -> Result<String, ScenarioError> {
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig14_lane_keeping(jobs: usize) -> Result<String, ScenarioError> {
+pub fn fig14_lane_keeping(jobs: usize, store: Option<&mut Store>) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 14 + Table IV — lane keeping\n");
     let mut rows = Vec::new();
@@ -295,9 +366,10 @@ pub fn fig14_lane_keeping(jobs: usize) -> Result<String, ScenarioError> {
         .into_iter()
         .map(|scheme| Job::new(format!("fig14/scheme={scheme}"), scheme))
         .collect();
-    let runs = fan_out(&cells, jobs, |&scheme| {
+    let (runs, cached) = fan_out_cached("fig14", &cells, jobs, store, |&scheme| {
         run_lane_keeping(&LaneKeepingConfig::paper_loop(scheme))
     })?;
+    report_cache_use("fig14", cached.as_ref());
     for (scheme, r) in Scheme::all().into_iter().zip(runs) {
         rows.push((scheme.to_string(), r.rms_lateral_offset));
         let _ = writeln!(
@@ -333,7 +405,7 @@ pub fn fig14_lane_keeping(jobs: usize) -> Result<String, ScenarioError> {
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig15_hardware(jobs: usize) -> Result<String, ScenarioError> {
+pub fn fig15_hardware(jobs: usize, store: Option<&mut Store>) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 15 + Tables V/VI — hardware car following\n");
     let mut speed_rows = Vec::new();
@@ -350,11 +422,12 @@ pub fn fig15_hardware(jobs: usize) -> Result<String, ScenarioError> {
             )
         })
         .collect();
-    let runs = fan_out(&cells, jobs, |&(scheme, seed)| {
+    let (runs, cached) = fan_out_cached("fig15", &cells, jobs, store, |&(scheme, seed)| {
         let mut config = CarFollowingConfig::hardware(scheme);
         config.seed = seed;
         run_car_following(&config)
     })?;
+    report_cache_use("fig15", cached.as_ref());
     for (per_seed, scheme) in runs.chunks(seeds.len()).zip(Scheme::all()) {
         let mut v = 0.0;
         let mut d = 0.0;
@@ -504,7 +577,7 @@ pub fn fig17_responsiveness() -> Result<String, ScenarioError> {
 /// # Errors
 ///
 /// Propagates [`ScenarioError`].
-pub fn fig18_ablation(jobs: usize) -> Result<String, ScenarioError> {
+pub fn fig18_ablation(jobs: usize, store: Option<&mut Store>) -> Result<String, ScenarioError> {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 18 — ablation: external coordinator\n");
     let mut rows = Vec::new();
@@ -513,11 +586,12 @@ pub fn fig18_ablation(jobs: usize) -> Result<String, ScenarioError> {
         .iter()
         .map(|&(label, external)| Job::new(format!("fig18/{label}"), external))
         .collect();
-    let runs = fan_out(&cells, jobs, |&external| {
+    let (runs, cached) = fan_out_cached("fig18", &cells, jobs, store, |&external| {
         let mut config = CarFollowingConfig::paper_simulation(Scheme::HcPerf);
         config.coordinator.external_enabled = external;
         run_car_following(&config)
     })?;
+    report_cache_use("fig18", cached.as_ref());
     for ((label, external), r) in variants.into_iter().zip(runs) {
         let _ = writeln!(
             out,
@@ -560,6 +634,49 @@ mod tests {
         assert!(r.contains("Adaptive"));
         assert!(r.contains("Preferred"));
         assert!(r.contains("4 s earlier"));
+    }
+
+    #[test]
+    fn fan_out_cached_replays_cells_bit_identically() {
+        #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Payload {
+            x: u64,
+            y: f64,
+        }
+        let run = |&i: &u64| -> Result<Payload, ScenarioError> {
+            Ok(Payload {
+                x: i * 3,
+                y: i as f64 / 7.0,
+            })
+        };
+        let cells: Vec<Job<u64>> = (0..4)
+            .map(|i| Job::with_seed(format!("test/cell={i}"), i, i))
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("hcperf_bench_fanout_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let (uncached, none) = fan_out_cached("test", &cells, 2, None, run).unwrap();
+        assert!(none.is_none());
+
+        let mut store = Store::open(&path).unwrap();
+        let (cold, s) = fan_out_cached("test", &cells, 2, Some(&mut store), run).unwrap();
+        let s = s.unwrap();
+        assert_eq!((s.hits, s.misses), (0, 4));
+        assert_eq!(cold, uncached);
+
+        // Reopen (exercises replay) and run warm: everything is a hit
+        // and the payloads are bit-identical.
+        drop(store);
+        let mut store = Store::open(&path).unwrap();
+        let (warm, s) = fan_out_cached("test", &cells, 2, Some(&mut store), run).unwrap();
+        let s = s.unwrap();
+        assert_eq!((s.hits, s.misses), (4, 0));
+        assert_eq!(warm, uncached);
+        // A different figure tag is a different fingerprint — no hits.
+        let (_, s) = fan_out_cached("other", &cells, 2, Some(&mut store), run).unwrap();
+        assert_eq!(s.unwrap().hits, 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

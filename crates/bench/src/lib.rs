@@ -15,6 +15,7 @@
 //! | `fig18_ablation` | Fig. 18 — external-coordinator ablation |
 //! | `all_experiments` | everything above, in order |
 //! | `bench_harness` | worker-pool wall-clock + bit-identity check → `BENCH_harness.json` |
+//! | `bench_store` | store append overhead + cache-hit speedup → `BENCH_store.json` |
 //!
 //! Criterion benches (`cargo bench -p hcperf-bench`) cover the § VII-E
 //! overhead analysis plus the γ-search, scheduler-decision, ADE-window and
@@ -44,4 +45,31 @@ pub fn jobs_from_cli() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// Optional result store for the experiment binaries: `--store PATH`
+/// (or its alias `--resume PATH`) on the command line, else the
+/// `HCPERF_STORE` environment variable, else no store. With a store,
+/// figure cells already computed by an earlier (possibly interrupted)
+/// run are served from disk bit-identically instead of re-simulated.
+///
+/// # Errors
+///
+/// Returns [`hcperf_store::StoreError`] if the store log exists but
+/// cannot be opened or replayed.
+pub fn store_from_cli() -> Result<Option<hcperf_store::Store>, hcperf_store::StoreError> {
+    let mut argv = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(arg) = argv.next() {
+        if arg == "--store" || arg == "--resume" {
+            if let Some(p) = argv.next() {
+                path = Some(p);
+            }
+        }
+    }
+    let path = path.or_else(|| std::env::var("HCPERF_STORE").ok());
+    match path {
+        Some(p) => hcperf_store::Store::open(p).map(Some),
+        None => Ok(None),
+    }
 }

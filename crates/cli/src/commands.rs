@@ -6,16 +6,19 @@ use std::fmt::Write as _;
 use hcperf::analysis::{analyze, liu_layland_bound, max_rate_within_bound};
 use hcperf::rta::rta_fixed_priority;
 use hcperf::Scheme;
+use hcperf_harness::ResultCache;
 use hcperf_rtsim::{gantt, trace_json, JoinPolicy, Sim, SimConfig};
 use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
-use hcperf_scenarios::fleet::{run_fleet, FleetConfig, FleetPreset};
+use hcperf_scenarios::fleet::{run_fleet_with_cache, FleetConfig, FleetPreset};
 use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
 use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
-use hcperf_scenarios::sweep::{knee, rate_sweep_parallel, SweepConfig};
+use hcperf_scenarios::sweep::{knee, rate_sweep_parallel_cached, SweepConfig};
+use hcperf_store::{RunSummary, Store};
 use hcperf_taskgraph::graphs::{apollo_graph, motivation_graph, GraphOptions};
 use hcperf_taskgraph::{ExecContext, Rate, SimTime};
 
 use crate::args::{Args, ParseError};
+use crate::store_util::{fleet_cache, sweep_cache};
 
 /// Error type for command execution.
 #[derive(Debug)]
@@ -86,6 +89,10 @@ COMMANDS
                             independent simulation, results are
                             bit-identical for any value
                                                            (available parallelism)
+                --store     cell-store path: finished points are
+                            served from disk bit-identically and
+                            fresh ones persisted (--resume is an
+                            alias)                         (off)
   analyze     Offline schedulability of the Fig. 11 graph
                 --rate      Hz                             (20)
                 --processors                               (4)
@@ -114,6 +121,19 @@ COMMANDS
                 --timing    true|false include per-vehicle
                             wall times (breaks reproducibility)(false)
                 --out       JSONL path, or - for stdout        (-)
+                --store     cell-store path: finished vehicles
+                            are served from disk and fresh ones
+                            persisted, so an interrupted run
+                            restarts where it stopped (--resume
+                            is an alias)                       (off)
+  store       Inspect a cell store written by sweep/fleet --store
+                --path      store path                         (required)
+                --status    true|false counts per state and
+                            cache-hit ratio                    (true)
+                --bottlenecks
+                            also list the N slowest done cells
+                            and every stuck/failed shard (0 =
+                            status only)                       (0)
   trace       Run the pipeline briefly and emit the schedule
                 --scheme, --seed as above                  (edf)
                 --duration  seconds                        (0.5)
@@ -136,6 +156,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "sweep" => cmd_sweep(args),
         "analyze" => cmd_analyze(args),
         "fleet" => cmd_fleet(args),
+        "store" => cmd_store(args),
         "motivation" => cmd_motivation(args),
         "graph" => cmd_graph(args),
         "trace" => cmd_trace(args),
@@ -215,16 +236,25 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         rates.push(hz);
         hz += step;
     }
-    let points = rate_sweep_parallel(
-        &SweepConfig {
-            scheme,
-            rates_hz: rates,
-            duration,
-            seed,
-            ..Default::default()
-        },
-        jobs,
-    )?;
+    let config = SweepConfig {
+        scheme,
+        rates_hz: rates,
+        duration,
+        seed,
+        ..Default::default()
+    };
+    let (points, store_report) = match store_path(args) {
+        None => (rate_sweep_parallel_cached(&config, jobs, None)?, None),
+        Some(path) => {
+            let mut store = open_store(path)?;
+            let mut cache = sweep_cache(&mut store, &config);
+            let points = rate_sweep_parallel_cached(&config, jobs, Some(&mut cache))?;
+            let summary = cache
+                .finish()
+                .map_err(|e| CliError::Io(format!("store {path}: {e}")))?;
+            (points, Some(summary))
+        }
+    };
     let mut out = format!("rate sweep under {scheme}:\n");
     let _ = writeln!(
         out,
@@ -256,7 +286,29 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
             let _ = writeln!(out, "no knee inside the sweep");
         }
     }
+    if let Some(summary) = store_report {
+        let _ = writeln!(out, "store: {}", render_run_summary(summary));
+    }
     Ok(out)
+}
+
+/// `--store PATH`, with `--resume PATH` accepted as an alias.
+fn store_path(args: &Args) -> Option<&str> {
+    args.get("store").or_else(|| args.get("resume"))
+}
+
+fn open_store(path: &str) -> Result<Store, CliError> {
+    Store::open(path).map_err(|e| CliError::Io(format!("store {path}: {e}")))
+}
+
+fn render_run_summary(summary: RunSummary) -> String {
+    let ratio = summary
+        .hit_ratio()
+        .map_or_else(|| "-".to_owned(), |r| format!("{:.1}%", r * 100.0));
+    format!(
+        "{} hits / {} misses ({ratio} cached)",
+        summary.hits, summary.misses
+    )
 }
 
 fn cmd_analyze(args: &Args) -> Result<String, CliError> {
@@ -337,19 +389,60 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     config.aggregate_every = args.get_usize("aggregate-every", config.aggregate_every)?;
     config.timing = args.get_bool("timing", false)?;
 
+    // The store (if any) outlives the cache view borrowing it.
+    let mut store = match store_path(args) {
+        Some(path) => Some(open_store(path)?),
+        None => None,
+    };
+    let mut cache = store.as_mut().map(|s| fleet_cache(s, &config));
+
     let out_path = args.get("out").unwrap_or("-");
-    let summary = if out_path == "-" {
+    let run_result = if out_path == "-" {
         // Service mode: records go straight to stdout as they complete;
         // only the human summary is returned through dispatch.
         let stdout = std::io::stdout();
         let mut lock = stdout.lock();
-        run_fleet(&config, &mut lock)?
+        run_fleet_with_cache(
+            &config,
+            &mut lock,
+            cache.as_mut().map(|c| c as &mut dyn ResultCache<_>),
+        )
     } else {
         let mut file = std::fs::File::create(out_path)
             .map(std::io::BufWriter::new)
             .map_err(|e| CliError::Io(format!("create {out_path}: {e}")))?;
-        run_fleet(&config, &mut file)?
+        let result = run_fleet_with_cache(
+            &config,
+            &mut file,
+            cache.as_mut().map(|c| c as &mut dyn ResultCache<_>),
+        );
+        // Flush + fsync on success AND error paths: an interrupted run
+        // must leave its replayable JSONL prefix durably on disk.
+        use std::io::Write as _;
+        let sync = file.flush().and_then(|()| file.get_ref().sync_all());
+        match (result, sync) {
+            (Err(e), _) => Err(e), // the run error is primary
+            (Ok(_), Err(e)) => {
+                return Err(CliError::Io(format!("sync {out_path}: {e}")));
+            }
+            (Ok(summary), Ok(())) => Ok(summary),
+        }
     };
+    // Seal the store on both paths: even an aborted run keeps the done
+    // cells it persisted (that is what --resume picks up from). The
+    // run's own error stays primary.
+    let store_report = match (cache, &run_result) {
+        (Some(c), Ok(_)) => Some(
+            c.finish()
+                .map_err(|e| CliError::Io(format!("store: {e}")))?,
+        ),
+        (Some(c), Err(_)) => {
+            let _ = c.finish();
+            None
+        }
+        (None, _) => None,
+    };
+    let summary = run_result?;
 
     let mut out = format!(
         "fleet: {} vehicles ({}, {}), {:.1} s horizon each\n",
@@ -377,8 +470,86 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
         );
         let _ = writeln!(out, "  tracking RMSE:          {:.4}", agg.tracking_rmse);
     }
+    if let Some(report) = store_report {
+        let _ = writeln!(
+            out,
+            "  store:                  {}",
+            render_run_summary(report)
+        );
+    }
     if out_path != "-" {
         let _ = writeln!(out, "  records: {out_path}");
+    }
+    Ok(out)
+}
+
+/// `hcperf store --path P [--status true] [--bottlenecks N]`: inspect a
+/// cell store without touching it.
+fn cmd_store(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .get("path")
+        .ok_or_else(|| CliError::Args(ParseError("store needs --path <store file>".into())))?;
+    let show_status = args.get_bool("status", true)?;
+    let top = args.get_usize("bottlenecks", 0)?;
+    let store = open_store(path)?;
+    let mut out = String::new();
+    if show_status {
+        let s = store.status();
+        let _ = writeln!(
+            out,
+            "store {path}: {} cells ({} pending / {} running / {} done / {} failed)",
+            s.total(),
+            s.pending,
+            s.running,
+            s.done,
+            s.failed
+        );
+        match s.last_run {
+            Some(run) => {
+                let _ = writeln!(
+                    out,
+                    "  runs recorded: {}; last run: {}",
+                    s.runs,
+                    render_run_summary(run)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  runs recorded: 0");
+            }
+        }
+        if s.quarantined_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  recovered: {} torn-tail byte(s) quarantined to {path}.quarantine",
+                s.quarantined_bytes
+            );
+        }
+    }
+    if top > 0 {
+        let b = store.bottlenecks(top);
+        let _ = writeln!(out, "  slowest done cells:");
+        if b.slowest_done.is_empty() {
+            let _ = writeln!(out, "    (none)");
+        }
+        for (wall_ms, key) in &b.slowest_done {
+            let _ = writeln!(out, "    {wall_ms:10.3} ms  {key}");
+        }
+        if !b.stuck.is_empty() {
+            let _ = writeln!(out, "  stuck shards (pending/running): {}", b.stuck.len());
+            for key in &b.stuck {
+                let _ = writeln!(out, "    {key}");
+            }
+        }
+        if !b.failed.is_empty() {
+            let _ = writeln!(
+                out,
+                "  failed shards (retried next run): {}",
+                b.failed.len()
+            );
+            for key in &b.failed {
+                let _ = writeln!(out, "    {key}");
+            }
+        }
     }
     Ok(out)
 }
@@ -604,6 +775,124 @@ mod tests {
         assert!(out.contains("rate sweep"));
         assert!(out.contains("10Hz"));
         assert!(out.contains("20Hz"));
+    }
+
+    fn temp_path(name: &str) -> String {
+        let p = std::env::temp_dir().join(format!("hcperf_cli_{name}_{}", std::process::id()));
+        let p = p.to_str().unwrap().to_owned();
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(format!("{p}.quarantine")).ok();
+        p
+    }
+
+    #[test]
+    fn sweep_with_store_is_all_hits_on_the_second_run() {
+        let store = temp_path("sweep_store");
+        let argv = vec![
+            "sweep",
+            "--from",
+            "10",
+            "--to",
+            "30",
+            "--step",
+            "20",
+            "--duration",
+            "2",
+            "--store",
+            &store,
+        ];
+        let first = run(&argv).unwrap();
+        assert!(first.contains("store: 0 hits / 2 misses"), "{first}");
+        let second = run(&argv).unwrap();
+        assert!(
+            second.contains("store: 2 hits / 0 misses (100.0% cached)"),
+            "{second}"
+        );
+        // Identical sweep table either way (everything above the store line).
+        let table = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("store:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&first), table(&second));
+
+        // `--resume` is an alias for `--store`.
+        let resumed = run(&[
+            "sweep",
+            "--from",
+            "10",
+            "--to",
+            "30",
+            "--step",
+            "20",
+            "--duration",
+            "2",
+            "--resume",
+            &store,
+        ])
+        .unwrap();
+        assert!(resumed.contains("100.0% cached"), "{resumed}");
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn fleet_with_store_resumes_without_recomputing() {
+        let store = temp_path("fleet_store");
+        let out = temp_path("fleet_store_out.jsonl");
+        let argv = |out: &str| {
+            vec![
+                "fleet".to_owned(),
+                "--vehicles".into(),
+                "4".into(),
+                "--duration".into(),
+                "0.5".into(),
+                "--store".into(),
+                store.clone(),
+                "--out".into(),
+                out.to_owned(),
+            ]
+        };
+        let run_owned = |argv: Vec<String>| {
+            let args = Args::parse(argv.iter().map(String::as_str)).unwrap();
+            dispatch(&args)
+        };
+        let first = run_owned(argv(&out)).unwrap();
+        assert!(
+            first.contains("store:                  0 hits / 4 misses"),
+            "{first}"
+        );
+        let straight = std::fs::read_to_string(&out).unwrap();
+
+        let second = run_owned(argv(&out)).unwrap();
+        assert!(
+            second.contains("store:                  4 hits / 0 misses (100.0% cached)"),
+            "{second}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            straight,
+            "cached replay must be byte-identical"
+        );
+
+        // Introspection over the same store file.
+        let status = run(&["store", "--path", &store]).unwrap();
+        assert!(
+            status.contains("4 cells (0 pending / 0 running / 4 done / 0 failed)"),
+            "{status}"
+        );
+        assert!(status.contains("last run: 4 hits / 0 misses"), "{status}");
+        let bn = run(&["store", "--path", &store, "--bottlenecks", "2"]).unwrap();
+        assert!(bn.contains("slowest done cells:"), "{bn}");
+        assert!(bn.contains("fleet/car-following/vehicle="), "{bn}");
+
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn store_command_validates_arguments() {
+        assert!(run(&["store"]).is_err(), "--path is required");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod store_util;
 
 pub use args::{parse_scheme, Args, ParseError};
 pub use commands::{dispatch, help, CliError};

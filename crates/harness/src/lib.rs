@@ -22,7 +22,13 @@
 //!   slow sink back-pressures the workers — the fleet-scale mode;
 //! * [`JsonlSink`]/[`RecordSink`] — streaming JSON-Lines output fed in
 //!   submission order, plus a [`Progress`] callback fed in completion
-//!   order.
+//!   order;
+//! * [`ResultCache`] — an optional cache probed per job key before
+//!   anything runs ([`BatchOptions::cached`]): because every job is a
+//!   pure function of `(input, seed)` and its seed a pure function of
+//!   `(root_seed, key)`, a finished cell can be served from disk
+//!   bit-identically instead of recomputed. The durable implementation
+//!   is `hcperf-store`.
 //!
 //! The crate is std-only by design (see the workspace's vendored-only
 //! dependency policy): payload serialization is delegated to callers.
@@ -38,11 +44,13 @@
 //! assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
 //! ```
 
+pub mod cache;
 pub mod job;
 pub mod pool;
 pub mod seed;
 pub mod sink;
 
+pub use cache::ResultCache;
 pub use job::{Job, JobResult, JobStatus, Progress};
 pub use pool::{
     available_workers, run_batch, run_batch_streaming, run_batch_with, BatchError, BatchOptions,

@@ -23,13 +23,15 @@
 //! reporting its job yields [`HarnessError::LostJobs`] instead of
 //! killing the run with a panic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::cache::ResultCache;
 use crate::job::{Job, JobResult, JobStatus, Progress};
 use crate::seed::derive_seed;
 use crate::sink::RecordSink;
@@ -57,6 +59,18 @@ pub enum HarnessError {
         /// The offending submission index.
         index: usize,
     },
+    /// The sink asked the pool to stop ([`RecordSink::keep_going`]
+    /// returned `false`) — typically because its writer died. The
+    /// submission-order prefix of `delivered` results reached the sink
+    /// (and any attached cache) before the stop; nothing after it did.
+    /// This is how an interrupted streaming run leaves a clean,
+    /// resumable prefix instead of a corrupt tail.
+    Aborted {
+        /// Results delivered to the sink before the abort.
+        delivered: usize,
+        /// Total jobs in the batch.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for HarnessError {
@@ -71,6 +85,12 @@ impl std::fmt::Display for HarnessError {
             ),
             HarnessError::CorruptCollection { index } => {
                 write!(f, "job {index} reported twice or out of range")
+            }
+            HarnessError::Aborted { delivered, total } => {
+                write!(
+                    f,
+                    "batch aborted by its sink after {delivered} of {total} results"
+                )
             }
         }
     }
@@ -110,6 +130,14 @@ pub struct BatchOptions<'a, O> {
     pub progress: Option<&'a mut dyn FnMut(Progress)>,
     /// Ordered streaming result sink.
     pub sink: Option<&'a mut dyn RecordSink<O>>,
+    /// Optional result cache. Probed once per job (in submission order)
+    /// before anything runs: hits are delivered without touching a
+    /// worker — same key, same derived seed, zero wall time — and fresh
+    /// results are offered back via [`ResultCache::put`] in submission
+    /// order. Cached payloads for jobs that cannot be delivered yet wait
+    /// in the reorder window, so a batch served mostly from cache trades
+    /// memory for the recompute it skips.
+    pub cache: Option<&'a mut dyn ResultCache<O>>,
 }
 
 impl<O> std::fmt::Debug for BatchOptions<'_, O> {
@@ -120,6 +148,7 @@ impl<O> std::fmt::Debug for BatchOptions<'_, O> {
             .field("queue_capacity", &self.queue_capacity)
             .field("progress", &self.progress.is_some())
             .field("sink", &self.sink.is_some())
+            .field("cache", &self.cache.is_some())
             .finish()
     }
 }
@@ -132,6 +161,7 @@ impl<O> Default for BatchOptions<'_, O> {
             queue_capacity: 0,
             progress: None,
             sink: None,
+            cache: None,
         }
     }
 }
@@ -173,6 +203,13 @@ impl<'a, O> BatchOptions<'a, O> {
         self.sink = Some(sink);
         self
     }
+
+    /// Attaches a result cache (see [`BatchOptions::cache`]).
+    #[must_use]
+    pub fn cached(mut self, cache: &'a mut dyn ResultCache<O>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
 }
 
 /// What a streaming run reports once the last record has been sunk.
@@ -184,6 +221,9 @@ pub struct StreamSummary {
     pub ok: usize,
     /// Jobs that panicked (isolated into failure records).
     pub panicked: usize,
+    /// Jobs served from the attached [`ResultCache`] instead of being
+    /// recomputed (a subset of `ok`). Zero when no cache is attached.
+    pub cached: usize,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -223,17 +263,59 @@ impl<T> ResultSender<T> {
 
 /// Drains `rx`, firing `progress` in completion order and `on_ready` in
 /// strict submission order (out-of-order completions wait in a reorder
-/// window). Returns a structured error — never panics — when the
-/// channel closes early or an index arrives twice.
+/// window, pre-seeded with the cache hits in `prehits`). Fresh results
+/// are offered to `cache` at delivery time — submission order — so an
+/// append-only cache log is itself deterministic. Returns a structured
+/// error — never panics — when the channel closes early, an index
+/// arrives twice, or `on_ready` asks to stop.
 fn collect_ordered<O>(
     rx: &mpsc::Receiver<JobResult<O>>,
     total: usize,
+    prehits: BTreeMap<usize, JobResult<O>>,
+    mut cache: Option<&mut dyn ResultCache<O>>,
     mut progress: Option<&mut dyn FnMut(Progress)>,
-    on_ready: &mut dyn FnMut(JobResult<O>),
+    on_ready: &mut dyn FnMut(JobResult<O>) -> ControlFlow<()>,
 ) -> Result<(), HarnessError> {
-    let mut pending: BTreeMap<usize, JobResult<O>> = BTreeMap::new();
+    let cached_ix: BTreeSet<usize> = prehits.keys().copied().collect();
+    let mut pending = prehits;
     let mut next_ready = 0usize;
     let mut completed = 0usize;
+    // Cache hits "complete" the moment the batch starts: report them
+    // before the first worker result so progress counts never regress.
+    if let Some(progress) = progress.as_deref_mut() {
+        for &index in &cached_ix {
+            completed += 1;
+            progress(Progress {
+                completed,
+                total,
+                index,
+            });
+        }
+    } else {
+        completed = cached_ix.len();
+    }
+    let mut deliver_ready = |pending: &mut BTreeMap<usize, JobResult<O>>,
+                             next_ready: &mut usize,
+                             cache: &mut Option<&mut dyn ResultCache<O>>|
+     -> Result<(), HarnessError> {
+        while let Some(ready) = pending.remove(&*next_ready) {
+            if !cached_ix.contains(next_ready) {
+                if let Some(cache) = cache.as_deref_mut() {
+                    cache.put(&ready);
+                }
+            }
+            *next_ready += 1;
+            if on_ready(ready).is_break() {
+                return Err(HarnessError::Aborted {
+                    delivered: *next_ready,
+                    total,
+                });
+            }
+        }
+        Ok(())
+    };
+    // A fully-cached prefix (or batch) is deliverable immediately.
+    deliver_ready(&mut pending, &mut next_ready, &mut cache)?;
     while let Ok(result) = rx.recv() {
         completed += 1;
         if let Some(progress) = progress.as_deref_mut() {
@@ -248,10 +330,7 @@ fn collect_ordered<O>(
             return Err(HarnessError::CorruptCollection { index });
         }
         pending.insert(index, result);
-        while let Some(ready) = pending.remove(&next_ready) {
-            on_ready(ready);
-            next_ready += 1;
-        }
+        deliver_ready(&mut pending, &mut next_ready, &mut cache)?;
     }
     if next_ready != total {
         // The channel closed with gaps: every undelivered index that is
@@ -264,17 +343,45 @@ fn collect_ordered<O>(
     Ok(())
 }
 
-/// The shared pool core: validates keys, fans `jobs` out over `workers`
-/// threads, and feeds results to `on_ready` in submission order.
+/// Work assignment for the pool: either every submission index, or the
+/// subset the cache could not serve. The all-indices case avoids
+/// materializing a `0..total` vector for plain (uncached) batches.
+enum WorkList {
+    All(usize),
+    Subset(Vec<usize>),
+}
+
+impl WorkList {
+    fn get(&self, slot: usize) -> Option<usize> {
+        match self {
+            WorkList::All(total) => (slot < *total).then_some(slot),
+            WorkList::Subset(indices) => indices.get(slot).copied(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WorkList::All(total) => *total,
+            WorkList::Subset(indices) => indices.len(),
+        }
+    }
+}
+
+/// The shared pool core: validates keys, probes the cache, fans the
+/// cache misses out over `workers` threads, and feeds results to
+/// `on_ready` in submission order. Returns the number of jobs served
+/// from cache.
+#[allow(clippy::too_many_arguments)] // private core: both entry points unpack BatchOptions here
 fn run_ordered<I, O, F>(
     jobs: &[Job<I>],
     workers: usize,
     root_seed: u64,
     queue_capacity: usize,
+    mut cache: Option<&mut dyn ResultCache<O>>,
     progress: Option<&mut dyn FnMut(Progress)>,
     run: F,
-    on_ready: &mut dyn FnMut(JobResult<O>),
-) -> Result<(), HarnessError>
+    on_ready: &mut dyn FnMut(JobResult<O>) -> ControlFlow<()>,
+) -> Result<usize, HarnessError>
 where
     I: Sync,
     O: Send,
@@ -289,12 +396,42 @@ where
             }
         }
     }
+    // Cache probe, in submission order on the submitting thread: hits
+    // become ready-made results (same derived seed a run would get,
+    // zero wall time); misses form the pool's work list.
+    let (prehits, work) = match cache.as_deref_mut() {
+        None => (BTreeMap::new(), WorkList::All(total)),
+        Some(cache) => {
+            let mut prehits: BTreeMap<usize, JobResult<O>> = BTreeMap::new();
+            let mut misses = Vec::new();
+            for (index, job) in jobs.iter().enumerate() {
+                match cache.get(&job.key) {
+                    Some(output) => {
+                        let seed = job.seed.unwrap_or_else(|| derive_seed(root_seed, &job.key));
+                        prehits.insert(
+                            index,
+                            JobResult {
+                                index,
+                                key: job.key.clone(),
+                                seed,
+                                wall: Duration::ZERO,
+                                status: JobStatus::Ok(output),
+                            },
+                        );
+                    }
+                    None => misses.push(index),
+                }
+            }
+            (prehits, WorkList::Subset(misses))
+        }
+    };
+    let cached = prehits.len();
     let workers = if workers == 0 {
         available_workers()
     } else {
         workers
     }
-    .min(total)
+    .min(work.len())
     .max(1);
 
     let cursor = AtomicUsize::new(0);
@@ -311,8 +448,10 @@ where
             let tx = tx.clone();
             let cursor = &cursor;
             let run = &run;
+            let work = &work;
             scope.spawn(move || loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(index) = work.get(slot) else { break };
                 let Some(job) = jobs.get(index) else { break };
                 let seed = job.seed.unwrap_or_else(|| derive_seed(root_seed, &job.key));
                 let start = Instant::now();
@@ -333,11 +472,15 @@ where
             });
         }
         drop(tx);
-        // An early collection error drops `rx` when this closure returns,
-        // which unblocks any worker waiting on a bounded send; workers
-        // then see the send failure and exit, so the scope always joins.
-        collect_ordered(&rx, total, progress, on_ready)
-    })
+        // Collection can end early (abort, corrupt index). `rx` must die
+        // *before* the scope's implicit join: a worker parked on a full
+        // bounded queue only unblocks when the receiver drops, sees the
+        // send failure, and exits — so drop it here, inside the scope.
+        let collected = collect_ordered(&rx, total, prehits, cache, progress, on_ready);
+        drop(rx);
+        collected
+    })?;
+    Ok(cached)
 }
 
 /// Runs every job in `jobs` through `run` on a fixed pool of workers
@@ -374,13 +517,18 @@ where
         opts.workers,
         opts.root_seed,
         opts.queue_capacity,
+        opts.cache.take(),
         opts.progress.take(),
         run,
         &mut |result| {
             if let Some(sink) = sink.as_deref_mut() {
                 sink.record(&result);
+                if !sink.keep_going() {
+                    return ControlFlow::Break(());
+                }
             }
             out.push(result);
+            ControlFlow::Continue(())
         },
     )?;
     Ok(out)
@@ -412,13 +560,15 @@ where
         total: jobs.len(),
         ok: 0,
         panicked: 0,
+        cached: 0,
     };
     let mut sink = opts.sink.take();
-    run_ordered(
+    summary.cached = run_ordered(
         jobs,
         opts.workers,
         opts.root_seed,
         opts.queue_capacity,
+        opts.cache.take(),
         opts.progress.take(),
         run,
         &mut |result| {
@@ -428,7 +578,11 @@ where
             }
             if let Some(sink) = sink.as_deref_mut() {
                 sink.record(&result);
+                if !sink.keep_going() {
+                    return ControlFlow::Break(());
+                }
             }
+            ControlFlow::Continue(())
         },
     )?;
     Ok(summary)
@@ -470,6 +624,18 @@ mod tests {
         }
     }
 
+    fn collect(
+        rx: &mpsc::Receiver<JobResult<u32>>,
+        total: usize,
+        prehits: BTreeMap<usize, JobResult<u32>>,
+        delivered: &mut Vec<usize>,
+    ) -> Result<(), HarnessError> {
+        collect_ordered(rx, total, prehits, None, None, &mut |r| {
+            delivered.push(r.index);
+            ControlFlow::Continue(())
+        })
+    }
+
     /// Regression for the old `slot.expect("all collected")` panic: a
     /// channel that closes before every job reports must produce a
     /// structured [`HarnessError::LostJobs`], naming exactly the indices
@@ -481,7 +647,7 @@ mod tests {
         tx.send(result(3)).unwrap();
         drop(tx);
         let mut delivered = Vec::new();
-        let err = collect_ordered(&rx, 5, None, &mut |r| delivered.push(r.index)).unwrap_err();
+        let err = collect(&rx, 5, BTreeMap::new(), &mut delivered).unwrap_err();
         assert_eq!(
             err,
             HarnessError::LostJobs {
@@ -500,7 +666,7 @@ mod tests {
         tx.send(result(1)).unwrap();
         tx.send(result(1)).unwrap();
         drop(tx);
-        let err = collect_ordered(&rx, 3, None, &mut |_| {}).unwrap_err();
+        let err = collect(&rx, 3, BTreeMap::new(), &mut Vec::new()).unwrap_err();
         assert_eq!(err, HarnessError::CorruptCollection { index: 1 });
     }
 
@@ -509,7 +675,7 @@ mod tests {
         let (tx, rx) = mpsc::channel::<JobResult<u32>>();
         tx.send(result(9)).unwrap();
         drop(tx);
-        let err = collect_ordered(&rx, 2, None, &mut |_| {}).unwrap_err();
+        let err = collect(&rx, 2, BTreeMap::new(), &mut Vec::new()).unwrap_err();
         assert_eq!(err, HarnessError::CorruptCollection { index: 9 });
     }
 
@@ -521,7 +687,63 @@ mod tests {
         }
         drop(tx);
         let mut delivered = Vec::new();
-        collect_ordered(&rx, 3, None, &mut |r| delivered.push(r.index)).unwrap();
+        collect(&rx, 3, BTreeMap::new(), &mut delivered).unwrap();
         assert_eq!(delivered, vec![0, 1, 2]);
+    }
+
+    /// Cache hits wait in the same reorder window as worker results:
+    /// delivery interleaves them back into strict submission order.
+    #[test]
+    fn prehits_interleave_with_fresh_results_in_order() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        tx.send(result(1)).unwrap();
+        tx.send(result(3)).unwrap();
+        drop(tx);
+        let prehits: BTreeMap<usize, JobResult<u32>> =
+            [(0, result(0)), (2, result(2))].into_iter().collect();
+        let mut delivered = Vec::new();
+        collect(&rx, 4, prehits, &mut delivered).unwrap();
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+    }
+
+    /// A fresh result for an index the cache already served is a pool
+    /// bug and must surface as corruption, not a silent double delivery.
+    #[test]
+    fn fresh_result_for_cached_index_is_corruption() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        tx.send(result(0)).unwrap();
+        drop(tx);
+        let prehits: BTreeMap<usize, JobResult<u32>> = [(0, result(0))].into_iter().collect();
+        let err = collect(&rx, 2, prehits, &mut Vec::new()).unwrap_err();
+        assert_eq!(err, HarnessError::CorruptCollection { index: 0 });
+    }
+
+    /// `Break` from the consumer stops delivery with a structured abort
+    /// naming the delivered prefix.
+    #[test]
+    fn consumer_break_aborts_with_delivered_count() {
+        let (tx, rx) = mpsc::channel::<JobResult<u32>>();
+        for i in 0..4 {
+            tx.send(result(i)).unwrap();
+        }
+        drop(tx);
+        let mut delivered = Vec::new();
+        let err = collect_ordered(&rx, 4, BTreeMap::new(), None, None, &mut |r| {
+            delivered.push(r.index);
+            if r.index == 1 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            HarnessError::Aborted {
+                delivered: 2,
+                total: 4
+            }
+        );
+        assert_eq!(delivered, vec![0, 1]);
     }
 }

@@ -13,6 +13,16 @@ use crate::job::{JobResult, JobStatus};
 pub trait RecordSink<O> {
     /// Called once per job, in index order.
     fn record(&mut self, result: &JobResult<O>);
+
+    /// Polled by the pool after each [`RecordSink::record`]: returning
+    /// `false` aborts the batch with a structured
+    /// `HarnessError::Aborted`. The default keeps going; sinks that
+    /// write to fallible I/O override this so a dead writer stops the
+    /// run promptly (leaving a clean, resumable prefix) instead of
+    /// simulating thousands of results nobody will ever see.
+    fn keep_going(&self) -> bool {
+        true
+    }
 }
 
 /// Every `FnMut(&JobResult<O>)` is a sink.
@@ -53,8 +63,14 @@ pub fn json_escape(s: &str) -> String {
 /// `wall_ms` is the one field that legitimately differs between runs;
 /// pass `timing: false` to omit it when the stream must be
 /// bit-reproducible end to end.
+///
+/// Dropping the sink without calling [`JsonlSink::finish`] flushes the
+/// writer best-effort, so an early exit (an error return unwinding past
+/// the sink, an aborted batch) still leaves every delivered record on
+/// disk — the replayable-prefix guarantee interrupted runs resume from.
 pub struct JsonlSink<W: Write, F> {
-    writer: W,
+    /// `None` only after [`JsonlSink::finish`] took the writer out.
+    writer: Option<W>,
     payload: F,
     timing: bool,
     error: Option<io::Error>,
@@ -76,7 +92,7 @@ impl<W: Write, F> JsonlSink<W, F> {
     /// (which must return a valid JSON fragment, e.g. via `serde_json`).
     pub fn new(writer: W, payload: F) -> JsonlSink<W, F> {
         JsonlSink {
-            writer,
+            writer: Some(writer),
             payload,
             timing: true,
             error: None,
@@ -104,11 +120,24 @@ impl<W: Write, F> JsonlSink<W, F> {
     ///
     /// Propagates the first write/flush failure.
     pub fn finish(mut self) -> io::Result<W> {
-        if let Some(e) = self.error {
+        if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let Some(mut writer) = self.writer.take() else {
+            return Err(io::Error::other("writer already taken"));
+        };
+        writer.flush()?;
+        Ok(writer)
+    }
+}
+
+impl<W: Write, F> Drop for JsonlSink<W, F> {
+    /// Best-effort flush so an abandoned sink (early error return,
+    /// aborted batch) leaves every recorded line on disk.
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -139,10 +168,19 @@ impl<O, W: Write, F: Fn(&O) -> String> RecordSink<O> for JsonlSink<W, F> {
             }
         }
         line.push_str("}\n");
-        match self.writer.write_all(line.as_bytes()) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        match writer.write_all(line.as_bytes()) {
             Ok(()) => self.records += 1,
             Err(e) => self.error = Some(e),
         }
+    }
+
+    /// A dead writer stops the batch instead of discarding the rest of
+    /// the stream.
+    fn keep_going(&self) -> bool {
+        self.error.is_none()
     }
 }
 

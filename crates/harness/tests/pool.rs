@@ -6,8 +6,8 @@ use std::sync::Mutex;
 
 use hcperf_harness::seed::{derive_seed, splitmix64};
 use hcperf_harness::{
-    run_batch, run_batch_streaming, run_batch_with, BatchError, BatchOptions, Job, JobStatus,
-    JsonlSink, Progress,
+    run_batch, run_batch_streaming, run_batch_with, BatchError, BatchOptions, HarnessError, Job,
+    JobStatus, JsonlSink, Progress,
 };
 
 /// A deterministic, seed-driven stand-in for a simulation: a short
@@ -223,4 +223,215 @@ fn zero_workers_means_available_parallelism() {
     .unwrap();
     assert_eq!(results.len(), 4);
     assert_eq!(touched.load(Ordering::Relaxed), 4);
+}
+
+/// A transparent in-memory cache for exercising the pool's cache hook.
+struct MemCache {
+    map: std::collections::BTreeMap<String, u64>,
+    gets: usize,
+    puts: Vec<String>,
+}
+
+impl MemCache {
+    fn new() -> MemCache {
+        MemCache {
+            map: std::collections::BTreeMap::new(),
+            gets: 0,
+            puts: Vec::new(),
+        }
+    }
+}
+
+impl hcperf_harness::ResultCache<u64> for MemCache {
+    fn get(&mut self, key: &str) -> Option<u64> {
+        self.gets += 1;
+        self.map.get(key).copied()
+    }
+    fn put(&mut self, result: &hcperf_harness::JobResult<u64>) {
+        if let JobStatus::Ok(o) = &result.status {
+            self.map.insert(result.key.clone(), *o);
+            self.puts.push(result.key.clone());
+        }
+    }
+}
+
+/// The cache contract end to end: a cold batch computes and populates
+/// the cache (puts in submission order), a warm batch is served
+/// entirely from it — bit-identical results, zero jobs recomputed.
+#[test]
+fn warm_cache_serves_batch_without_recomputation() {
+    let jobs = batch(12);
+    let mut cache = MemCache::new();
+    let cold = {
+        let opts = BatchOptions::with_workers(3).cached(&mut cache);
+        run_batch(&jobs, opts, fake_sim).unwrap()
+    };
+    assert_eq!(cache.puts.len(), 12);
+    assert_eq!(
+        cache.puts,
+        (0..12).map(|i| format!("cell/{i}")).collect::<Vec<_>>(),
+        "puts must arrive in submission order"
+    );
+
+    let ran = AtomicUsize::new(0);
+    let warm = {
+        let opts = BatchOptions::with_workers(3).cached(&mut cache);
+        run_batch(&jobs, opts, |input, seed| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            fake_sim(input, seed)
+        })
+        .unwrap()
+    };
+    assert_eq!(ran.load(Ordering::Relaxed), 0, "zero cells recomputed");
+    // Identical apart from wall time (cached results take zero wall).
+    assert_eq!(warm.len(), cold.len());
+    for (w, c) in warm.iter().zip(&cold) {
+        assert_eq!((w.index, &w.key, w.seed), (c.index, &c.key, c.seed));
+        assert_eq!(w.status, c.status, "cached replay must be bit-identical");
+    }
+    // Warm results still carry the derived seed a real run would use.
+    for (i, r) in warm.iter().enumerate() {
+        let opts = BatchOptions::<u64>::default();
+        assert_eq!(r.seed, derive_seed(opts.root_seed, &format!("cell/{i}")));
+    }
+}
+
+/// A partially warm cache recomputes exactly the misses, and the
+/// streamed output interleaves hits and fresh results in submission
+/// order — byte-identical to an uncached run.
+#[test]
+fn partial_cache_recomputes_only_misses_and_streams_in_order() {
+    let jobs = batch(10);
+    let reference = {
+        let mut sink = JsonlSink::new(Vec::new(), |o: &u64| o.to_string()).timing(false);
+        let opts = BatchOptions::with_workers(2).stream_to(&mut sink);
+        run_batch_streaming(&jobs, opts, fake_sim).unwrap();
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    };
+
+    let mut cache = MemCache::new();
+    // Pre-warm the even cells only.
+    for (i, job) in jobs.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+        let opts = BatchOptions::<u64>::default();
+        let seed = derive_seed(opts.root_seed, &job.key);
+        cache
+            .map
+            .insert(job.key.clone(), fake_sim(&(i as u64), seed));
+    }
+    let ran = AtomicUsize::new(0);
+    let mut sink = JsonlSink::new(Vec::new(), |o: &u64| o.to_string()).timing(false);
+    let summary = {
+        let opts = BatchOptions::with_workers(4)
+            .stream_to(&mut sink)
+            .cached(&mut cache);
+        run_batch_streaming(&jobs, opts, |input, seed| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            fake_sim(input, seed)
+        })
+        .unwrap()
+    };
+    assert_eq!(summary.cached, 5);
+    assert_eq!(summary.ok, 10);
+    assert_eq!(ran.load(Ordering::Relaxed), 5, "only the odd cells ran");
+    assert_eq!(cache.puts.len(), 5, "only fresh results are offered back");
+    let got = String::from_utf8(sink.finish().unwrap()).unwrap();
+    assert_eq!(got, reference);
+}
+
+/// Panicked jobs are not cached, so the next run retries them.
+#[test]
+fn panicked_jobs_are_retried_on_the_next_run() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let jobs = batch(6);
+    let mut cache = MemCache::new();
+    let summary = {
+        let opts = BatchOptions::with_workers(2).cached(&mut cache);
+        run_batch_streaming(&jobs, opts, |&input, seed| {
+            assert!(input != 3, "boom");
+            fake_sim(&input, seed)
+        })
+        .unwrap()
+    };
+    assert_eq!((summary.ok, summary.panicked, summary.cached), (5, 1, 0));
+    let summary = {
+        let opts = BatchOptions::with_workers(2).cached(&mut cache);
+        run_batch_streaming(&jobs, opts, fake_sim).unwrap()
+    };
+    std::panic::set_hook(prev);
+    assert_eq!((summary.ok, summary.panicked, summary.cached), (6, 0, 5));
+}
+
+/// A sink whose writer dies aborts the batch with a structured error;
+/// the delivered prefix reached the cache, nothing later did.
+#[test]
+fn dead_sink_aborts_batch_leaving_resumable_prefix() {
+    struct FailAfter(usize);
+    impl std::io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.0 == 0 {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.0 -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let jobs = batch(20);
+    let mut cache = MemCache::new();
+    let mut sink = JsonlSink::new(FailAfter(4), |o: &u64| o.to_string()).timing(false);
+    let err = {
+        let opts = BatchOptions::with_workers(2)
+            .stream_to(&mut sink)
+            .cached(&mut cache);
+        run_batch_streaming(&jobs, opts, fake_sim).unwrap_err()
+    };
+    let HarnessError::Aborted { delivered, total } = err else {
+        panic!("expected Aborted, got {err:?}");
+    };
+    assert_eq!(total, 20);
+    assert_eq!(delivered, 5, "4 written lines + the one that failed");
+    // Exactly the delivered prefix was cached, in order.
+    assert_eq!(
+        cache.puts,
+        (0..delivered)
+            .map(|i| format!("cell/{i}"))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Regression: aborting while the bounded result queue is full must not
+/// deadlock. With a tiny queue and far more jobs than capacity, workers
+/// are parked on `send` when the sink dies — the pool has to drop the
+/// receiver before joining them or the join never completes.
+#[test]
+fn abort_with_full_bounded_queue_does_not_deadlock() {
+    struct FailAfter(usize);
+    impl std::io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.0 == 0 {
+                return Err(std::io::Error::other("pipe closed"));
+            }
+            self.0 -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let jobs = batch(200);
+    let mut sink = JsonlSink::new(FailAfter(3), |o: &u64| o.to_string()).timing(false);
+    let err = {
+        let opts = BatchOptions::with_workers(4)
+            .queue_capacity(2)
+            .stream_to(&mut sink);
+        run_batch_streaming(&jobs, opts, fake_sim).unwrap_err()
+    };
+    let HarnessError::Aborted { delivered, total } = err else {
+        panic!("expected Aborted, got {err:?}");
+    };
+    assert_eq!(total, 200);
+    assert_eq!(delivered, 4, "3 written lines + the one that failed");
 }

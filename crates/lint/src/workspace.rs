@@ -28,7 +28,9 @@ pub const WALL_CLOCK_ONLY_ROOTS: [&str; 3] = ["crates/cli/src", "crates/lint/src
 /// Crates covered only by the unwrap/expect ratchet: the harness times
 /// real execution (wall-clock exempt) yet its library code must stay
 /// panic-free, because a panic in collection kills a whole fleet run.
-pub const RATCHET_ONLY_ROOTS: [&str; 1] = ["crates/harness/src"];
+/// The store joins it for the same reason — a panic while appending or
+/// replaying the log would forfeit the crash-safety it exists to give.
+pub const RATCHET_ONLY_ROOTS: [&str; 2] = ["crates/harness/src", "crates/store/src"];
 
 /// Workspace-relative path of the checked-in ratchet baseline.
 pub const BASELINE_PATH: &str = "crates/lint/unwrap_baseline.txt";

@@ -120,6 +120,7 @@ fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> Pat
         "crates/cli/src",
         "crates/lint/src",
         "crates/harness/src",
+        "crates/store/src",
         "src",
     ] {
         fs::create_dir_all(root.join(dir)).expect("mkdir");

@@ -210,7 +210,7 @@ impl CarFollowingConfig {
 }
 
 /// Aggregates and time series of one car-following run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CarFollowingResult {
     /// Scheme that produced this result.
     pub scheme: Scheme,

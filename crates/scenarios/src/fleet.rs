@@ -29,6 +29,7 @@ use std::io;
 use hcperf::Scheme;
 use hcperf_harness::{
     json_escape, run_batch_streaming, BatchOptions, Job, JobResult, JobStatus, RecordSink,
+    ResultCache,
 };
 use hcperf_rtsim::percentile;
 
@@ -121,7 +122,7 @@ impl FleetConfig {
 
 /// Per-vehicle metrics, one JSONL record each (the `record` field of a
 /// `"type":"vehicle"` line).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct VehicleRecord {
     /// Scheme the vehicle ran.
     pub scheme: Scheme,
@@ -176,6 +177,9 @@ pub struct FleetSummary {
     pub panicked: usize,
     /// Vehicles that collided.
     pub collisions: usize,
+    /// Vehicles served from the result cache instead of simulated
+    /// (always zero without a cache — see [`run_fleet_with_cache`]).
+    pub cached: usize,
     /// Final fleet-wide aggregate (`None` for an empty fleet).
     pub aggregate: Option<FleetAggregate>,
 }
@@ -357,6 +361,12 @@ impl RecordSink<Result<VehicleRecord, String>> for FleetSink<'_> {
             self.write_aggregate();
         }
     }
+
+    /// A dead writer aborts the fleet run instead of burning workers on
+    /// records nobody will see; the delivered prefix stays replayable.
+    fn keep_going(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// Runs the fleet and streams JSONL to `out`: one `"type":"vehicle"`
@@ -377,17 +387,52 @@ pub fn run_fleet(
     config: &FleetConfig,
     out: &mut dyn io::Write,
 ) -> Result<FleetSummary, ScenarioError> {
+    run_fleet_with_cache(config, out, None)
+}
+
+/// [`run_fleet`] with an optional result cache (`hcperf-store`'s
+/// `CellCache` in production): finished vehicles are served from the
+/// cache bit-identically instead of re-simulated, and freshly simulated
+/// vehicles are offered back to it in submission order — which is what
+/// makes an interrupted fleet run resumable where it stopped.
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet`]. On *any* error path the delivered
+/// JSONL prefix is flushed to `out` first, so an interrupted run always
+/// leaves a replayable prefix behind.
+pub fn run_fleet_with_cache(
+    config: &FleetConfig,
+    out: &mut dyn io::Write,
+    cache: Option<&mut dyn ResultCache<Result<VehicleRecord, String>>>,
+) -> Result<FleetSummary, ScenarioError> {
     let jobs: Vec<Job<usize>> = (0..config.vehicles)
         .map(|i| Job::new(format!("fleet/{}/vehicle={i}", config.preset.name()), i))
         .collect();
     let mut sink = FleetSink::new(out, config);
-    let summary = {
-        let opts = BatchOptions::with_workers(config.workers)
+    let run = {
+        let mut opts = BatchOptions::with_workers(config.workers)
             .root_seed(config.root_seed)
             .queue_capacity(config.queue_capacity)
             .stream_to(&mut sink);
+        if let Some(cache) = cache {
+            opts = opts.cached(cache);
+        }
         run_batch_streaming(&jobs, opts, |_, seed| run_vehicle(config, seed))
-            .map_err(|e| ScenarioError::Job(e.to_string()))?
+    };
+    let summary = match run {
+        Ok(summary) => summary,
+        Err(e) => {
+            // Flush the delivered prefix so an interrupted run is
+            // resumable, then surface the cause: a parked write error
+            // (which made the sink abort the batch) beats the abort
+            // itself.
+            let _ = sink.out.flush();
+            if let Some(io_err) = sink.error.take() {
+                return Err(ScenarioError::Sink(io_err.to_string()));
+            }
+            return Err(ScenarioError::Job(e.to_string()));
+        }
     };
     // Close the stream with a final aggregate unless the cadence already
     // emitted one exactly at the end.
@@ -416,6 +461,7 @@ pub fn run_fleet(
         failed: sink.failed - summary.panicked,
         panicked: summary.panicked,
         collisions: sink.collisions,
+        cached: summary.cached,
         aggregate,
     })
 }

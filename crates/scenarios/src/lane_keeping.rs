@@ -106,7 +106,7 @@ impl LaneKeepingConfig {
 }
 
 /// Aggregates and series of a lane-keeping run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LaneKeepingResult {
     /// Scheme that produced this result.
     pub scheme: Scheme,

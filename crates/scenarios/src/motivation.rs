@@ -70,7 +70,7 @@ impl Default for MotivationConfig {
 }
 
 /// Outcome of the motivation study.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MotivationResult {
     /// Scheme used.
     pub scheme: Scheme,

@@ -12,7 +12,7 @@
 //! for any worker count.
 
 use hcperf::{DpsConfig, Scheme};
-use hcperf_harness::{run_batch, BatchOptions, Job};
+use hcperf_harness::{run_batch, BatchOptions, Job, ResultCache};
 use hcperf_rtsim::{JoinPolicy, Sim, SimConfig};
 use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
 use hcperf_taskgraph::{LoadProfile, Rate, SimTime, TaskGraph};
@@ -20,7 +20,7 @@ use hcperf_taskgraph::{LoadProfile, Rate, SimTime, TaskGraph};
 use crate::car_following::ScenarioError;
 
 /// One sweep sample.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SweepPoint {
     /// Pipeline rate probed (Hz).
     pub rate_hz: f64,
@@ -139,6 +139,21 @@ pub fn rate_sweep_parallel(
     config: &SweepConfig,
     workers: usize,
 ) -> Result<Vec<SweepPoint>, ScenarioError> {
+    rate_sweep_parallel_cached(config, workers, None)
+}
+
+/// [`rate_sweep_parallel`] with an optional result cache
+/// (`hcperf-store`'s `CellCache` in production): already-swept points
+/// are served from the cache bit-identically instead of re-simulated.
+///
+/// # Errors
+///
+/// Same contract as [`rate_sweep_parallel`].
+pub fn rate_sweep_parallel_cached(
+    config: &SweepConfig,
+    workers: usize,
+    cache: Option<&mut dyn ResultCache<Result<SweepPoint, ScenarioError>>>,
+) -> Result<Vec<SweepPoint>, ScenarioError> {
     let graph = sweep_graph(config)?;
     let jobs: Vec<Job<f64>> = config
         .rates_hz
@@ -148,7 +163,11 @@ pub fn rate_sweep_parallel(
         // pin that seed so the parallel path replays it exactly.
         .map(|(i, &rate_hz)| Job::with_seed(format!("rate[{i}]={rate_hz}"), rate_hz, config.seed))
         .collect();
-    let results = run_batch(&jobs, BatchOptions::with_workers(workers), |&rate_hz, _| {
+    let mut opts = BatchOptions::with_workers(workers);
+    if let Some(cache) = cache {
+        opts = opts.cached(cache);
+    }
+    let results = run_batch(&jobs, opts, |&rate_hz, _| {
         sweep_point(&graph, config, rate_hz)
     })
     .map_err(|e| ScenarioError::Job(e.to_string()))?;

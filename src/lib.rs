@@ -11,7 +11,9 @@
 //!   baseline schedulers;
 //! * [`scenarios`] — the closed-loop driving experiment harness;
 //! * [`harness`] — the deterministic parallel experiment-execution
-//!   engine the evaluation surfaces fan out through.
+//!   engine the evaluation surfaces fan out through;
+//! * [`store`] — the durable, content-addressed result store that
+//!   makes interrupted experiment runs resumable.
 //!
 //! # Examples
 //!
@@ -26,5 +28,6 @@ pub use hcperf_control as control;
 pub use hcperf_harness as harness;
 pub use hcperf_rtsim as rtsim;
 pub use hcperf_scenarios as scenarios;
+pub use hcperf_store as store;
 pub use hcperf_taskgraph as taskgraph;
 pub use hcperf_vehicle as vehicle;

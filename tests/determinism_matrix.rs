@@ -2,16 +2,26 @@
 //! run with 1, 2 and 8 workers, must be **bit-identical** to its
 //! sequential counterpart. This is the contract that makes `--jobs N`
 //! a pure wall-clock knob — CI runs this file explicitly.
+//!
+//! The matrix also covers resumption: a fleet run interrupted halfway
+//! and resumed through an `hcperf-store` log must reproduce the
+//! straight-through byte stream exactly, recomputing none of the cells
+//! the interrupted run finished.
+
+use std::io::{self, Write};
 
 use hcperf_suite::core::Scheme;
 use hcperf_suite::scenarios::car_following::CarFollowingConfig;
-use hcperf_suite::scenarios::fleet::{run_fleet, FleetConfig, FleetPreset};
+use hcperf_suite::scenarios::fleet::{
+    run_fleet, run_fleet_with_cache, FleetConfig, FleetPreset, VehicleRecord,
+};
 use hcperf_suite::scenarios::runner::{
     compare_car_following, compare_car_following_parallel, compare_car_following_seeded,
     compare_car_following_seeded_parallel, compare_lane_keeping, compare_lane_keeping_parallel,
 };
 use hcperf_suite::scenarios::sweep::{rate_sweep, rate_sweep_parallel, SweepConfig};
-use hcperf_suite::scenarios::LaneKeepingConfig;
+use hcperf_suite::scenarios::{LaneKeepingConfig, ScenarioError};
+use hcperf_suite::store::{fingerprint, CellCache, Store};
 
 const WORKER_MATRIX: [usize; 3] = [1, 2, 8];
 
@@ -98,6 +108,119 @@ fn fleet_jsonl_stream_is_bit_identical_across_worker_counts() {
                 );
             }
         }
+    }
+}
+
+/// Writer that fails after a byte budget — the fleet's output pipe
+/// dying halfway through a run.
+struct TruncatingWriter {
+    written: usize,
+    budget: usize,
+}
+
+impl Write for TruncatingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.written >= self.budget {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        self.written += buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn encode_vehicle(result: &Result<VehicleRecord, String>) -> Option<String> {
+    match result {
+        Ok(record) => Some(format!("ok:{}", serde_json::to_string(record).ok()?)),
+        Err(msg) => Some(format!("err:{msg}")),
+    }
+}
+
+fn decode_vehicle(payload: &str) -> Option<Result<VehicleRecord, String>> {
+    if let Some(msg) = payload.strip_prefix("err:") {
+        return Some(Err(msg.to_owned()));
+    }
+    let json = payload.strip_prefix("ok:")?;
+    Some(Ok(serde_json::from_str::<VehicleRecord>(json).ok()?))
+}
+
+/// The resumability contract at scale: a 1000-vehicle fleet run whose
+/// output pipe dies at ~50%, resumed through the store, streams the
+/// exact bytes of a straight-through run — for 1, 2 and 8 workers —
+/// and recomputes **zero** of the cells the interrupted run completed.
+#[test]
+fn resumed_fleet_is_bit_identical_and_recomputes_no_done_cells() {
+    let mut config = FleetConfig::new(FleetPreset::CarFollowing, 1000);
+    config.duration = 0.5;
+    config.aggregate_every = 250;
+    config.queue_capacity = 64;
+
+    // Straight-through reference, no store.
+    let mut reference = Vec::new();
+    run_fleet(&config, &mut reference).unwrap();
+
+    for workers in WORKER_MATRIX {
+        config.workers = workers;
+        let path = std::env::temp_dir().join(format!(
+            "hcperf_matrix_resume_{}_{workers}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // Interrupted run: the pipe dies after half the reference bytes.
+        let mut store = Store::open(&path).unwrap();
+        let mut cache = CellCache::new(
+            &mut store,
+            fingerprint(&["matrix-fleet"]),
+            encode_vehicle,
+            decode_vehicle,
+        );
+        let mut dying = TruncatingWriter {
+            written: 0,
+            budget: reference.len() / 2,
+        };
+        let err = run_fleet_with_cache(&config, &mut dying, Some(&mut cache)).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Sink(_)),
+            "workers={workers}: {err:?}"
+        );
+        cache.finish().unwrap();
+        drop(store);
+
+        // Reopen (exercising log replay) and count what survived.
+        let store_reopened = Store::open(&path).unwrap();
+        let done_before = store_reopened.status().done;
+        assert!(
+            done_before > 0 && done_before < 1000,
+            "workers={workers}: interruption should leave a partial store, got {done_before} done"
+        );
+        drop(store_reopened);
+
+        // Resume: finished cells replay from disk, the rest simulate.
+        let mut store = Store::open(&path).unwrap();
+        let mut cache = CellCache::new(
+            &mut store,
+            fingerprint(&["matrix-fleet"]),
+            encode_vehicle,
+            decode_vehicle,
+        );
+        let mut resumed = Vec::new();
+        let summary = run_fleet_with_cache(&config, &mut resumed, Some(&mut cache)).unwrap();
+        let run = cache.finish().unwrap();
+        assert_eq!(summary.cached, done_before, "workers={workers}");
+        assert_eq!(
+            (run.hits, run.misses),
+            (done_before, 1000 - done_before),
+            "workers={workers}: every done cell must hit, nothing done may recompute"
+        );
+        assert_eq!(
+            String::from_utf8(resumed).unwrap(),
+            String::from_utf8(reference.clone()).unwrap(),
+            "workers={workers}: resumed stream differs from straight-through"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }
 

@@ -38,12 +38,12 @@
 //! probe only *re-ranks* the previous order with a single insertion pass
 //! (adjacent probes reorder few jobs, so the pass is `O(n + inversions)`
 //! rather than a fresh `O(n log n)` sort). The pre-optimization
-//! sort-per-probe search is kept verbatim in [`reference`] as the benchmark
+//! sort-per-probe search is retained in [`reference`] as the benchmark
 //! baseline and as an independent oracle in tests.
 
 use std::cmp::Ordering;
 
-use hcperf_rtsim::{JobId, SchedContext, Scheduler};
+use hcperf_rtsim::{Job, JobId, SchedContext, Scheduler};
 use hcperf_taskgraph::{SimSpan, SimTime};
 
 /// How the scheduler searches for `γ_max`.
@@ -180,8 +180,8 @@ impl GammaScratch {
     /// with one insertion pass, `O(n + inversions)`.
     // hcperf-lint: hot-path-root
     fn rank(&mut self, gamma: f64, full: bool) {
-        for i in 0..self.key.len() {
-            self.key[i] = gamma * self.prio[i] + self.laxity[i];
+        for ((k, &p), &l) in self.key.iter_mut().zip(&self.prio).zip(&self.laxity) {
+            *k = gamma * p + l;
         }
         let key = &self.key;
         let id = &self.id;
@@ -370,37 +370,55 @@ impl DynamicPriorityScheduler {
             }
             GammaSearch::CriticalPoints => {
                 // γ values where two jobs swap order:
-                // γ* = (d_b − d_a)/(p_a − p_b).
-                let n = s.prio.len();
-                s.points.clear();
-                for a in 0..n {
-                    for b in (a + 1)..n {
-                        let (pa, pb) = (s.prio[a], s.prio[b]);
+                // γ* = (d_b − d_a)/(p_a − p_b). Disjoint field borrows let
+                // the pair walk read prio/laxity while pushing to points.
+                let GammaScratch {
+                    prio,
+                    laxity,
+                    points,
+                    ..
+                } = s;
+                points.clear();
+                for (a, (&pa, &la)) in prio.iter().zip(laxity.iter()).enumerate() {
+                    for (&pb, &lb) in prio.iter().zip(laxity.iter()).skip(a + 1) {
                         if pa == pb {
                             continue;
                         }
-                        let crossing = (s.laxity[b] - s.laxity[a]) / (pa - pb);
+                        let crossing = (lb - la) / (pa - pb);
                         if crossing > 0.0 && crossing < config.gamma_ceiling {
-                            s.points.push(crossing);
+                            points.push(crossing);
                         }
                     }
                 }
-                s.points.push(config.gamma_ceiling);
-                s.points.sort_by(f64::total_cmp);
-                s.points.dedup();
+                points.push(config.gamma_ceiling);
+                points.sort_by(f64::total_cmp);
+                points.dedup();
                 // The queue order is constant between consecutive crossover
                 // points, so feasibility is constant on each interval. Walk
                 // intervals from the top; the first feasible interval's
-                // upper bound is the supremum of the feasible set.
-                for i in (0..s.points.len()).rev() {
-                    let lower = if i == 0 { 0.0 } else { s.points[i - 1] };
-                    let probe = 0.5 * (lower + s.points[i]);
+                // upper bound is the supremum of the feasible set. The
+                // points vector is taken out for the walk (rank/feasible
+                // borrow the rest of the scratch) and restored after so
+                // its capacity is reused by the next recompute.
+                let points = std::mem::take(&mut s.points);
+                let mut supremum = 0.0;
+                let uppers = points.iter().copied().rev();
+                let lowers = points
+                    .iter()
+                    .copied()
+                    .rev()
+                    .skip(1)
+                    .chain(std::iter::once(0.0));
+                for (upper, lower) in uppers.zip(lowers) {
+                    let probe = 0.5 * (lower + upper);
                     s.rank(probe, false);
                     if s.feasible(now, base, n_p) {
-                        return Some(s.points[i]);
+                        supremum = upper;
+                        break;
                     }
                 }
-                Some(0.0)
+                s.points = points;
+                Some(supremum)
             }
         }
     }
@@ -411,26 +429,28 @@ impl Scheduler for DynamicPriorityScheduler {
         self.maybe_recompute(ctx);
         let gamma = self.gamma;
         // Single pass evaluating each candidate's key exactly once; ties
-        // break on (release, id) like the baselines.
-        let mut best: Option<(f64, usize)> = None;
+        // break on (release, id) like the baselines. The winner's tie
+        // token rides along in `best` so no candidate is re-indexed.
+        let mut best: Option<(f64, (SimTime, JobId), usize)> = None;
         for &i in ctx.candidates {
-            let key = priority_key(ctx, i, gamma);
-            let better = match best {
+            let Some(job) = ctx.queue.get(i) else {
+                continue;
+            };
+            let key = priority_key_job(ctx, job, gamma);
+            let tie = (job.release(), job.id());
+            let better = match &best {
                 None => true,
-                Some((best_key, best_idx)) => match key.total_cmp(&best_key) {
+                Some((best_key, best_tie, _)) => match key.total_cmp(best_key) {
                     Ordering::Less => true,
                     Ordering::Greater => false,
-                    Ordering::Equal => {
-                        let (a, b) = (&ctx.queue[i], &ctx.queue[best_idx]);
-                        (a.release(), a.id()) < (b.release(), b.id())
-                    }
+                    Ordering::Equal => tie < *best_tie,
                 },
             };
             if better {
-                best = Some((key, i));
+                best = Some((key, tie, i));
             }
         }
-        best.map(|(_, i)| i)
+        best.map(|(_, _, i)| i)
     }
 
     fn name(&self) -> &str {
@@ -439,15 +459,22 @@ impl Scheduler for DynamicPriorityScheduler {
 }
 
 /// `P_i = γ·p_i + d_i` for queue entry `index` (Eq. 10); `d_i` is the
-/// absolute laxity in seconds.
+/// absolute laxity in seconds. An out-of-range index (never produced by
+/// the schedulers) compares worst rather than panicking.
 fn priority_key(ctx: &SchedContext<'_>, index: usize, gamma: f64) -> f64 {
-    let job = &ctx.queue[index];
+    ctx.queue
+        .get(index)
+        .map_or(f64::INFINITY, |job| priority_key_job(ctx, job, gamma))
+}
+
+/// [`priority_key`] for an already-resolved job.
+fn priority_key_job(ctx: &SchedContext<'_>, job: &Job, gamma: f64) -> f64 {
     let p = ctx.graph.spec(job.task()).priority().value() as f64;
     let laxity = job.laxity(ctx.now, ctx.exec_of(job)).as_secs();
     gamma * p + laxity
 }
 
-/// The pre-optimization `γ_max` search, kept verbatim.
+/// The pre-optimization `γ_max` search, retained as the baseline.
 ///
 /// Every feasibility probe rebuilds and re-sorts the whole ranking —
 /// `O(n log n)` per probe, with fresh allocations. It exists for two
@@ -455,6 +482,9 @@ fn priority_key(ctx: &SchedContext<'_>, index: usize, gamma: f64) -> f64 {
 /// the *before* configuration, and the unit tests use it as an independent
 /// oracle for the incremental implementation (both must return bit-equal
 /// results, since they evaluate the same comparisons at the same probes).
+/// Panic-surface cleanups (iterator walks instead of indexing) are the
+/// only edits since; `incremental_search_matches_sort_per_probe_reference`
+/// pins the bit-equality they must preserve.
 pub mod reference {
     use super::{priority_key, DpsConfig, GammaSearch};
     use hcperf_rtsim::SchedContext;
@@ -531,19 +561,15 @@ pub mod reference {
                 // γ values where two jobs swap order:
                 // γ* = (d_b − d_a)/(p_a − p_b).
                 let mut points: Vec<f64> = Vec::new();
-                for a in 0..ctx.queue.len() {
-                    for b in (a + 1)..ctx.queue.len() {
-                        let pa = ctx.graph.spec(ctx.queue[a].task()).priority().value() as f64;
-                        let pb = ctx.graph.spec(ctx.queue[b].task()).priority().value() as f64;
+                for (a, ja) in ctx.queue.iter().enumerate() {
+                    let pa = ctx.graph.spec(ja.task()).priority().value() as f64;
+                    let da = ja.laxity(ctx.now, ctx.exec_of(ja)).as_secs();
+                    for jb in ctx.queue.iter().skip(a + 1) {
+                        let pb = ctx.graph.spec(jb.task()).priority().value() as f64;
                         if pa == pb {
                             continue;
                         }
-                        let da = ctx.queue[a]
-                            .laxity(ctx.now, ctx.exec_of(&ctx.queue[a]))
-                            .as_secs();
-                        let db = ctx.queue[b]
-                            .laxity(ctx.now, ctx.exec_of(&ctx.queue[b]))
-                            .as_secs();
+                        let db = jb.laxity(ctx.now, ctx.exec_of(jb)).as_secs();
                         let crossing = (db - da) / (pa - pb);
                         if crossing > 0.0 && crossing < config.gamma_ceiling {
                             points.push(crossing);
@@ -558,11 +584,17 @@ pub mod reference {
                 // interval. Walk intervals from the top; the first feasible
                 // interval's upper bound is the supremum of the feasible
                 // set.
-                for i in (0..points.len()).rev() {
-                    let lower = if i == 0 { 0.0 } else { points[i - 1] };
-                    let probe = 0.5 * (lower + points[i]);
+                let uppers = points.iter().copied().rev();
+                let lowers = points
+                    .iter()
+                    .copied()
+                    .rev()
+                    .skip(1)
+                    .chain(std::iter::once(0.0));
+                for (upper, lower) in uppers.zip(lowers) {
+                    let probe = 0.5 * (lower + upper);
                     if feasible(ctx, probe, &skip) {
-                        return Some(points[i]);
+                        return Some(upper);
                     }
                 }
                 Some(0.0)

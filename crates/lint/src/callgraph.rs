@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::parse::{ParsedFile, Receiver};
+use crate::parse::{CallSite, LoopSite, ParsedFile, Receiver};
 
 /// One function node in the workspace graph.
 #[derive(Debug, Clone)]
@@ -48,6 +48,18 @@ impl FnNode {
     }
 }
 
+/// One call site of a node together with its resolved candidate callees —
+/// the per-site view the WCET pass needs (a callee's cost multiplies by
+/// the loops enclosing the *site*, so collapsing to `edges` loses it).
+#[derive(Debug, Clone)]
+pub struct SiteEdge {
+    /// The call site as parsed.
+    pub site: CallSite,
+    /// Candidate callee node indices, sorted, deduped. Empty when the name
+    /// has no workspace definition (std / external call).
+    pub callees: Vec<usize>,
+}
+
 /// The workspace call graph.
 #[derive(Debug)]
 pub struct CallGraph {
@@ -55,6 +67,10 @@ pub struct CallGraph {
     pub nodes: Vec<FnNode>,
     /// `edges[i]` are the candidate callees of `nodes[i]`, sorted, deduped.
     pub edges: Vec<Vec<usize>>,
+    /// `sites[i]` are the call sites of `nodes[i]` with per-site resolution.
+    pub sites: Vec<Vec<SiteEdge>>,
+    /// `loops[i]` are the loops of `nodes[i]`, in source order.
+    pub loops: Vec<Vec<LoopSite>>,
 }
 
 impl CallGraph {
@@ -63,8 +79,9 @@ impl CallGraph {
     pub fn build(files: &[ParsedFile]) -> CallGraph {
         let mut nodes = Vec::new();
         let mut site_lists = Vec::new();
+        let mut loops = Vec::new();
         for file in files {
-            for (item, sites) in file.fns.iter().zip(&file.calls) {
+            for ((item, sites), fn_loops) in file.fns.iter().zip(&file.calls).zip(&file.loops) {
                 nodes.push(FnNode {
                     path: file.path.clone(),
                     name: item.name.clone(),
@@ -76,6 +93,7 @@ impl CallGraph {
                     is_root: item.is_root,
                 });
                 site_lists.push(sites);
+                loops.push(fn_loops.clone());
             }
         }
         let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
@@ -83,16 +101,31 @@ impl CallGraph {
             by_name.entry(&node.name).or_default().push(idx);
         }
         let mut edges = Vec::with_capacity(nodes.len());
+        let mut site_edges = Vec::with_capacity(nodes.len());
         for (caller, sites) in site_lists.iter().enumerate() {
             let mut out = Vec::new();
+            let mut resolved = Vec::with_capacity(sites.len());
             for site in sites.iter() {
-                out.extend(resolve(site, &nodes[caller], &by_name, &nodes));
+                let mut callees = resolve(site, &nodes[caller], &by_name, &nodes);
+                callees.sort_unstable();
+                callees.dedup();
+                out.extend(callees.iter().copied());
+                resolved.push(SiteEdge {
+                    site: site.clone(),
+                    callees,
+                });
             }
             out.sort_unstable();
             out.dedup();
             edges.push(out);
+            site_edges.push(resolved);
         }
-        CallGraph { nodes, edges }
+        CallGraph {
+            nodes,
+            edges,
+            sites: site_edges,
+            loops,
+        }
     }
 
     /// Indices of declared hot-path roots.
@@ -297,6 +330,25 @@ fn root() { middle(1); }
             .map(|&i| g.nodes[i].path.as_str())
             .collect();
         assert_eq!(targets, vec!["a.rs"], "arity 1 picks the a.rs overload");
+    }
+
+    #[test]
+    fn per_site_resolution_is_retained_for_wcet() {
+        let g = graph(&[(
+            "a.rs",
+            "\
+fn leaf() {}
+fn caller(n: usize) {
+    for _ in 0..n { leaf(); }
+    external_name();
+}
+",
+        )]);
+        let caller = idx(&g, "caller");
+        assert_eq!(g.sites[caller].len(), 2);
+        assert_eq!(g.sites[caller][0].callees, vec![idx(&g, "leaf")]);
+        assert!(g.sites[caller][1].callees.is_empty(), "external: no edge");
+        assert_eq!(g.loops[caller].len(), 1);
     }
 
     #[test]

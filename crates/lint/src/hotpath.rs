@@ -211,6 +211,29 @@ struct Site {
     fn_name: String,
 }
 
+/// Byte offsets of word-boundary-respecting occurrences of `pat` inside
+/// the `body` byte range of `masked`. Shared by the purity/panic scan here
+/// and the blocking-surface scan in [`crate::wcet`].
+pub(crate) fn pattern_offsets(masked: &str, body: (usize, usize), pat: &str) -> Vec<usize> {
+    let slice = &masked[body.0..body.1];
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = slice[from..].find(pat).map(|p| from + p) {
+        from = p + pat.len();
+        let at = body.0 + p;
+        let first = pat.as_bytes()[0];
+        let left_ok = !is_ident_byte(first) || at == 0 || !is_ident_byte(bytes[at - 1]);
+        let last = pat.as_bytes()[pat.len() - 1];
+        let right_ok =
+            !is_ident_byte(last) || bytes.get(at + pat.len()).is_none_or(|&b| !is_ident_byte(b));
+        if left_ok && right_ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
 /// Scans one function body (a byte range of masked text) for violation
 /// sites.
 fn scan_body(masked: &str, body: (usize, usize), lines: &LineIndex, fn_name: &str) -> Vec<Site> {
@@ -222,23 +245,13 @@ fn scan_body(masked: &str, body: (usize, usize), lines: &LineIndex, fn_name: &st
         (Rule::HotPathPanic, &PANIC_PATTERNS[..]),
     ] {
         for pat in patterns {
-            let mut from = 0;
-            while let Some(p) = slice[from..].find(pat).map(|p| from + p) {
-                from = p + pat.len();
-                let at = body.0 + p;
-                let first = pat.as_bytes()[0];
-                let left_ok = !is_ident_byte(first) || at == 0 || !is_ident_byte(bytes[at - 1]);
-                let last = pat.as_bytes()[pat.len() - 1];
-                let right_ok = !is_ident_byte(last)
-                    || bytes.get(at + pat.len()).is_none_or(|&b| !is_ident_byte(b));
-                if left_ok && right_ok {
-                    sites.push(Site {
-                        rule,
-                        line: lines.line_of(at),
-                        construct: (*pat).trim_end_matches('(').to_owned(),
-                        fn_name: fn_name.to_owned(),
-                    });
-                }
+            for at in pattern_offsets(masked, body, pat) {
+                sites.push(Site {
+                    rule,
+                    line: lines.line_of(at),
+                    construct: (*pat).trim_end_matches('(').to_owned(),
+                    fn_name: fn_name.to_owned(),
+                });
             }
         }
     }
@@ -267,7 +280,7 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-fn waiver_covers(waivers: &[Waiver], rule: Rule, line: usize) -> Option<String> {
+pub(crate) fn waiver_covers(waivers: &[Waiver], rule: Rule, line: usize) -> Option<String> {
     waivers
         .iter()
         .find(|w| w.rule == Some(rule) && (w.line == line || w.line + 1 == line))
@@ -285,10 +298,9 @@ fn waiver_covers(waivers: &[Waiver], rule: Rule, line: usize) -> Option<String> 
 /// Propagates I/O failures and baseline-format problems.
 pub fn run_hot_path(root: &Path, against_baseline: bool) -> io::Result<HotPathReport> {
     let sources = load_sources(root, &DETERMINISTIC_CRATES, true)?;
-    let parsed: Vec<ParsedFile> = sources
-        .iter()
-        .map(|s| parse_file(&s.rel, &s.masked.masked, &s.masked.hot_path_roots))
-        .collect();
+    let parsed: Vec<ParsedFile> = crate::par::map(&sources, |s| {
+        parse_file(&s.rel, &s.masked.masked, &s.masked.hot_path_roots)
+    });
     let graph = CallGraph::build(&parsed);
     let reachable_idx = graph.reachable_from_roots();
 

@@ -37,7 +37,22 @@
 //!    tags naming undefined equations are orphans
 //!    ([`report::Rule::EqCoverage`]).
 //!
+//! 5. **WCET certificates** (`--wcet`) — every loop in the hot-path
+//!    reachable set is classified on a loop lattice
+//!    (constant / input-bounded / unknown, [`parse::LoopClass`]); costs
+//!    propagate interprocedurally over the call graph in a symbolic
+//!    `O(n^d log^l n)` abstraction ([`wcet::Cost`]) and each root's bound
+//!    becomes a certificate row in `crates/lint/wcet_certificates.txt`,
+//!    ratcheted like the baselines ([`report::Rule::WcetCert`]). Unknown
+//!    loops ([`report::Rule::WcetUnbounded`]) and blocking constructs
+//!    ([`report::Rule::HotPathBlocking`]) in reachable code are findings
+//!    unless waived. `--schedulability` cross-checks that every audit
+//!    target's Eq. 9 budget is backed by certificate-covered kernels.
+//!
 //! Exit codes are distinct per failure class — see [`report::exit`].
+//! The file scan and parse fan out over a std-only scoped-thread pool
+//! ([`par`]) with index-ordered reassembly, so all output stays
+//! byte-deterministic.
 //!
 //! # Examples
 //!
@@ -51,12 +66,14 @@
 pub mod callgraph;
 pub mod eqcov;
 pub mod hotpath;
+pub mod par;
 pub mod parse;
 pub mod ratchet;
 pub mod report;
 pub mod rules;
 pub mod sched;
 pub mod source;
+pub mod wcet;
 pub mod workspace;
 
 pub use report::{Finding, Rule};

@@ -1,21 +1,25 @@
 //! The `hcperf-lint` binary: source rules by default, `--schedulability`
-//! for the Eq. 9 / Eq. 11 audit, `--hot-path` for call-graph purity, and
-//! `--eq-coverage` for the paper-equation gate. See the library docs.
+//! for the Eq. 9 / Eq. 11 audit (with WCET kernel cross-check),
+//! `--hot-path` for call-graph purity, `--eq-coverage` for the
+//! paper-equation gate, and `--wcet` for loop-bound certificates. See the
+//! library docs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hcperf_lint::report::{exit, finding_json};
-use hcperf_lint::{eqcov, hotpath, ratchet, sched, workspace};
+use hcperf_lint::report::{exit, finding_json, render_annotations, Finding};
+use hcperf_lint::{eqcov, hotpath, ratchet, sched, wcet, workspace};
 
 const USAGE: &str = "\
 hcperf-lint — determinism & schedulability gate for the HCPerf workspace
 
 USAGE:
-    hcperf-lint [--json] [--root <path>] [--update-baseline]
-    hcperf-lint --hot-path [--eq-coverage] [--json] [--update-baseline]
-    hcperf-lint --eq-coverage [--hot-path] [--json]
+    hcperf-lint [--json] [--annotations] [--root <path>] [--update-baseline]
+    hcperf-lint --hot-path [--eq-coverage] [--wcet] [--json] [--update-baseline]
+    hcperf-lint --wcet [--hot-path] [--eq-coverage] [--json] [--update-baseline]
+    hcperf-lint --eq-coverage [--hot-path] [--wcet] [--json]
     hcperf-lint --schedulability [--json]
+    hcperf-lint --update-baselines
 
 MODES:
     (default)          scan deterministic crates for wall-clock access,
@@ -27,15 +31,24 @@ MODES:
                        against crates/lint/hotpath_baseline.txt
     --eq-coverage      require an implementation tag and a test tag for
                        each of the paper's Eq. 2-12; flag orphaned tags
+    --wcet             classify every loop in the hot-path reachable set
+                       (constant / input-bounded / unknown), propagate
+                       symbolic O(n^d log^l n) costs over the call graph,
+                       flag blocking constructs, and ratchet per-root
+                       certificates against crates/lint/wcet_certificates.txt
     --schedulability   audit every registered task graph and scenario
-                       preset: Eq. 9 deadlines and Eq. 11 feasible γ range
+                       preset: Eq. 9 deadlines, Eq. 11 feasible γ range,
+                       and WCET certificate coverage of the γ kernels
 
 OPTIONS:
     --json             machine-readable output
+    --annotations      additionally emit GitHub `::error file=…` workflow
+                       commands for unwaived file-anchored findings
     --root <path>      workspace root (default: inferred from cargo)
-    --update-baseline  rewrite the active mode's ratchet baseline
-                       (unwrap_baseline.txt, or hotpath_baseline.txt with
-                       --hot-path) from the current counts
+    --update-baseline  rewrite the active mode's ratchet artifacts
+                       (unwrap_baseline.txt; hotpath_baseline.txt with
+                       --hot-path; wcet_certificates.txt with --wcet)
+    --update-baselines regenerate all three ratchet artifacts in one run
 
 EXIT CODES:
     0 clean   1 findings   2 ratchet growth   3 infeasible target   4 usage
@@ -43,30 +56,39 @@ EXIT CODES:
 
 struct Args {
     json: bool,
+    annotations: bool,
     schedulability: bool,
     hot_path: bool,
     eq_coverage: bool,
+    wcet: bool,
     update_baseline: bool,
+    update_baselines: bool,
     root: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        annotations: false,
         schedulability: false,
         hot_path: false,
         eq_coverage: false,
+        wcet: false,
         update_baseline: false,
+        update_baselines: false,
         root: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => args.json = true,
+            "--annotations" => args.annotations = true,
             "--schedulability" => args.schedulability = true,
             "--hot-path" => args.hot_path = true,
             "--eq-coverage" => args.eq_coverage = true,
+            "--wcet" => args.wcet = true,
             "--update-baseline" => args.update_baseline = true,
+            "--update-baselines" => args.update_baselines = true,
             "--root" => {
                 let v = it.next().ok_or("--root requires a path")?;
                 args.root = Some(PathBuf::from(v));
@@ -75,10 +97,22 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.schedulability && (args.update_baseline || args.hot_path || args.eq_coverage) {
+    if args.schedulability
+        && (args.update_baseline
+            || args.update_baselines
+            || args.hot_path
+            || args.eq_coverage
+            || args.wcet
+            || args.annotations)
+    {
         return Err("--schedulability cannot combine with other modes".to_owned());
     }
-    if args.update_baseline && args.eq_coverage && !args.hot_path {
+    if args.update_baselines
+        && (args.update_baseline || args.hot_path || args.eq_coverage || args.wcet)
+    {
+        return Err("--update-baselines runs alone; it already covers every artifact".to_owned());
+    }
+    if args.update_baseline && args.eq_coverage && !args.hot_path && !args.wcet {
         return Err("--eq-coverage has no baseline to update".to_owned());
     }
     Ok(args)
@@ -112,19 +146,35 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.schedulability {
-        let results = sched::audit_all();
-        if args.json {
-            println!("{}", sched::render_json(&results));
-        } else {
-            print!("{}", sched::render_human(&results));
-        }
-        return code(sched::exit_code(&results));
-    }
-
     let root = resolve_root(&args);
 
-    if args.hot_path || args.eq_coverage {
+    if args.schedulability {
+        let results = sched::audit_all();
+        let gaps = match sched::wcet_cross_check(&results, &root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("hcperf-lint: {e}");
+                return code(exit::USAGE);
+            }
+        };
+        if args.json {
+            println!("{}", sched::render_json(&results, &gaps));
+        } else {
+            print!("{}", sched::render_human(&results));
+            print!("{}", sched::render_gaps_human(&gaps));
+        }
+        return code(if gaps.is_empty() {
+            sched::exit_code(&results)
+        } else {
+            exit::SCHEDULABILITY
+        });
+    }
+
+    if args.update_baselines {
+        return run_update_baselines(&root);
+    }
+
+    if args.hot_path || args.eq_coverage || args.wcet {
         return run_analysis(&args, &root);
     }
 
@@ -160,12 +210,78 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_human());
     }
+    if args.annotations {
+        print!("{}", render_annotations(&report.findings));
+    }
     code(report.exit_code())
 }
 
-/// Runs `--hot-path` and/or `--eq-coverage` and renders the combined
-/// report. Eq.-coverage findings dominate the exit code (`FINDINGS`);
-/// otherwise hot-path ratchet growth yields `RATCHET`.
+/// `--update-baselines`: regenerates every ratchet artifact — the unwrap
+/// baseline, the hot-path baseline, and the WCET certificates — in one
+/// run, so a deliberate cost/count change is a single reviewable diff.
+/// Structural findings (source rules, unbounded loops, blocking calls)
+/// still gate the run: baselines absorb *counts*, not new violations.
+fn run_update_baselines(root: &std::path::Path) -> ExitCode {
+    let src = match workspace::run_source_lint(root, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcperf-lint: {e}");
+            return code(exit::USAGE);
+        }
+    };
+    let hot = match hotpath::run_hot_path(root, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcperf-lint: {e}");
+            return code(exit::USAGE);
+        }
+    };
+    let w = match wcet::run_wcet(root, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcperf-lint: {e}");
+            return code(exit::USAGE);
+        }
+    };
+    for (path, text) in [
+        (
+            root.join(workspace::BASELINE_PATH),
+            ratchet::render_baseline(&src.unwrap_counts),
+        ),
+        (
+            root.join(hotpath::BASELINE_PATH),
+            hotpath::render_baseline(&hot.counts),
+        ),
+        (root.join(wcet::CERT_PATH), wcet::render_certs(&w.certs)),
+    ] {
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
+            return code(exit::USAGE);
+        }
+    }
+    println!(
+        "hcperf-lint: baselines rewritten — {} unwrap/expect sites, {} hot-path sites, \
+         {} WCET certificates ({} reachable fns)",
+        src.unwrap_counts.values().sum::<usize>(),
+        hot.counts.values().sum::<usize>(),
+        w.certs.len(),
+        w.reachable_fns,
+    );
+    let mut findings: Vec<&Finding> = src.findings.iter().collect();
+    findings.extend(w.findings.iter());
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    code(if findings.is_empty() {
+        exit::CLEAN
+    } else {
+        exit::FINDINGS
+    })
+}
+
+/// Runs `--hot-path`, `--eq-coverage` and/or `--wcet` and renders the
+/// combined report. Any mode's `FINDINGS` dominates the exit code;
+/// otherwise any ratchet growth yields `RATCHET`.
 fn run_analysis(args: &Args, root: &std::path::Path) -> ExitCode {
     let hot = if args.hot_path {
         match hotpath::run_hot_path(root, !args.update_baseline) {
@@ -189,51 +305,100 @@ fn run_analysis(args: &Args, root: &std::path::Path) -> ExitCode {
     } else {
         None
     };
+    let wcet_report = if args.wcet {
+        match wcet::run_wcet(root, !args.update_baseline) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("hcperf-lint: {e}");
+                return code(exit::USAGE);
+            }
+        }
+    } else {
+        None
+    };
 
     if args.update_baseline {
-        // Only reachable with --hot-path (parse_args rejects the rest).
-        let report = hot.as_ref().expect("--update-baseline implies --hot-path");
-        let path = root.join(hotpath::BASELINE_PATH);
-        let text = hotpath::render_baseline(&report.counts);
-        if let Err(e) = std::fs::write(&path, text) {
-            eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
-            return code(exit::USAGE);
+        if let Some(report) = hot.as_ref() {
+            let path = root.join(hotpath::BASELINE_PATH);
+            let text = hotpath::render_baseline(&report.counts);
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
+                return code(exit::USAGE);
+            }
+            println!(
+                "hcperf-lint: hot-path baseline rewritten ({} sites across {} (rule, file) rows; \
+                 {} fns reachable from {} roots)",
+                report.counts.values().sum::<usize>(),
+                report.counts.values().filter(|&&c| c > 0).count(),
+                report.reachable.len(),
+                report.roots.len(),
+            );
         }
-        println!(
-            "hcperf-lint: hot-path baseline rewritten ({} sites across {} (rule, file) rows; \
-             {} fns reachable from {} roots)",
-            report.counts.values().sum::<usize>(),
-            report.counts.values().filter(|&&c| c > 0).count(),
-            report.reachable.len(),
-            report.roots.len(),
-        );
+        if let Some(report) = wcet_report.as_ref() {
+            let path = root.join(wcet::CERT_PATH);
+            if let Err(e) = std::fs::write(&path, wcet::render_certs(&report.certs)) {
+                eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
+                return code(exit::USAGE);
+            }
+            println!(
+                "hcperf-lint: WCET certificates rewritten ({} roots, {} reachable fns)",
+                report.certs.len(),
+                report.reachable_fns,
+            );
+        }
     }
 
-    let exit_code = combined_exit(hot.as_ref(), eq.as_ref());
+    let exit_code = combined_exit(hot.as_ref(), eq.as_ref(), wcet_report.as_ref());
     if args.json {
         println!(
             "{}",
-            render_analysis_json(hot.as_ref(), eq.as_ref(), exit_code)
+            render_analysis_json(hot.as_ref(), eq.as_ref(), wcet_report.as_ref(), exit_code)
         );
     } else {
         print!(
             "{}",
-            render_analysis_human(hot.as_ref(), eq.as_ref(), exit_code)
+            render_analysis_human(hot.as_ref(), eq.as_ref(), wcet_report.as_ref(), exit_code)
         );
+    }
+    if args.annotations {
+        let mut all: Vec<Finding> = Vec::new();
+        if let Some(h) = hot.as_ref() {
+            all.extend(h.findings.iter().cloned());
+        }
+        if let Some(e) = eq.as_ref() {
+            all.extend(e.findings.iter().cloned());
+        }
+        if let Some(w) = wcet_report.as_ref() {
+            all.extend(w.findings.iter().cloned());
+        }
+        print!("{}", render_annotations(&all));
     }
     code(exit_code)
 }
 
-fn combined_exit(hot: Option<&hotpath::HotPathReport>, eq: Option<&eqcov::EqCovReport>) -> i32 {
-    match eq.map_or(exit::CLEAN, eqcov::EqCovReport::exit_code) {
-        exit::CLEAN => hot.map_or(exit::CLEAN, hotpath::HotPathReport::exit_code),
-        failing => failing,
+fn combined_exit(
+    hot: Option<&hotpath::HotPathReport>,
+    eq: Option<&eqcov::EqCovReport>,
+    w: Option<&wcet::WcetReport>,
+) -> i32 {
+    let codes = [
+        hot.map_or(exit::CLEAN, hotpath::HotPathReport::exit_code),
+        eq.map_or(exit::CLEAN, eqcov::EqCovReport::exit_code),
+        w.map_or(exit::CLEAN, wcet::WcetReport::exit_code),
+    ];
+    if codes.contains(&exit::FINDINGS) {
+        exit::FINDINGS
+    } else if codes.contains(&exit::RATCHET) {
+        exit::RATCHET
+    } else {
+        exit::CLEAN
     }
 }
 
 fn render_analysis_human(
     hot: Option<&hotpath::HotPathReport>,
     eq: Option<&eqcov::EqCovReport>,
+    w: Option<&wcet::WcetReport>,
     exit_code: i32,
 ) -> String {
     let mut out = String::new();
@@ -283,6 +448,37 @@ fn render_analysis_human(
             e.findings.len(),
         ));
     }
+    if let Some(w) = w {
+        for f in &w.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        for c in &w.certs {
+            out.push_str(&format!("cert {:<50} {}\n", c.name, c.cost.render()));
+        }
+        if let Some(r) = &w.ratchet {
+            for s in &r.shrink {
+                out.push_str(&format!(
+                    "note: `{}` certificate shrank to {} (was {}); refresh with --wcet --update-baseline\n",
+                    s.name,
+                    s.current.map_or_else(|| "removed".to_owned(), wcet::Cost::render),
+                    s.baseline.map_or_else(|| "absent".to_owned(), wcet::Cost::render),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "hcperf-lint --wcet: {} certificates, {} reachable fns, {} files, loops {}c/{}i/{}w/{}u, {} findings, {} waived\n",
+            w.certs.len(),
+            w.reachable_fns,
+            w.files_scanned,
+            w.loop_stats.constant,
+            w.loop_stats.input_bounded,
+            w.loop_stats.waived,
+            w.loop_stats.unbounded,
+            w.findings.len(),
+            w.waived.len(),
+        ));
+    }
     out.push_str(match exit_code {
         exit::CLEAN => "hcperf-lint: analysis clean\n",
         exit::RATCHET => "hcperf-lint: RATCHET GROWTH\n",
@@ -294,15 +490,22 @@ fn render_analysis_human(
 fn render_analysis_json(
     hot: Option<&hotpath::HotPathReport>,
     eq: Option<&eqcov::EqCovReport>,
+    w: Option<&wcet::WcetReport>,
     exit_code: i32,
 ) -> String {
     use hcperf_lint::report::json_escape;
 
-    let mode = match (hot.is_some(), eq.is_some()) {
-        (true, true) => "hot-path+eq-coverage",
-        (true, false) => "hot-path",
-        _ => "eq-coverage",
-    };
+    let mut parts = Vec::new();
+    if hot.is_some() {
+        parts.push("hot-path");
+    }
+    if eq.is_some() {
+        parts.push("eq-coverage");
+    }
+    if w.is_some() {
+        parts.push("wcet");
+    }
+    let mode = parts.join("+");
     let mut findings: Vec<String> = Vec::new();
     let mut waived: Vec<String> = Vec::new();
 
@@ -374,8 +577,66 @@ fn render_analysis_json(
         },
     );
 
+    let wcet_json = w.map_or_else(
+        || "null".to_owned(),
+        |w| {
+            findings.extend(w.findings.iter().map(finding_json));
+            waived.extend(w.waived.iter().map(finding_json));
+            let certs: Vec<String> = w
+                .certs
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"root\":\"{}\",\"cost\":\"{}\",\"path\":\"{}\"}}",
+                        json_escape(&c.name),
+                        json_escape(&c.cost.render()),
+                        json_escape(&c.path)
+                    )
+                })
+                .collect();
+            let ratchet = w.ratchet.as_ref().map_or_else(
+                || "null".to_owned(),
+                |r| {
+                    let row = |d: &wcet::CertDelta| {
+                        format!(
+                            "{{\"root\":\"{}\",\"path\":\"{}\",\"baseline\":{},\"current\":{}}}",
+                            json_escape(&d.name),
+                            json_escape(&d.path),
+                            d.baseline.map_or_else(
+                                || "null".to_owned(),
+                                |c| format!("\"{}\"", json_escape(&c.render()))
+                            ),
+                            d.current.map_or_else(
+                                || "null".to_owned(),
+                                |c| format!("\"{}\"", json_escape(&c.render()))
+                            ),
+                        )
+                    };
+                    let growth: Vec<String> = r.growth.iter().map(row).collect();
+                    let shrink: Vec<String> = r.shrink.iter().map(row).collect();
+                    format!(
+                        "{{\"growth\":[{}],\"shrink\":[{}]}}",
+                        growth.join(","),
+                        shrink.join(",")
+                    )
+                },
+            );
+            format!(
+                "{{\"certificates\":[{}],\"reachable_fns\":{},\"files_scanned\":{},\"loops\":{{\"constant\":{},\"input_bounded\":{},\"waived\":{},\"unbounded\":{}}},\"ratchet\":{}}}",
+                certs.join(","),
+                w.reachable_fns,
+                w.files_scanned,
+                w.loop_stats.constant,
+                w.loop_stats.input_bounded,
+                w.loop_stats.waived,
+                w.loop_stats.unbounded,
+                ratchet
+            )
+        },
+    );
+
     format!(
-        "{{\"mode\":\"{mode}\",\"hot_path\":{hot_json},\"eq_coverage\":{eq_json},\"findings\":[{}],\"waived\":[{}],\"exit_code\":{exit_code}}}",
+        "{{\"mode\":\"{mode}\",\"hot_path\":{hot_json},\"eq_coverage\":{eq_json},\"wcet\":{wcet_json},\"findings\":[{}],\"waived\":[{}],\"exit_code\":{exit_code}}}",
         findings.join(","),
         waived.join(","),
     )

@@ -43,11 +43,24 @@ pub enum Rule {
     /// A paper equation (Eq. 2–12) missing an implementation or test tag,
     /// or an `Eq. N` tag naming an equation the paper does not define.
     EqCoverage,
+    /// A loop in a hot-path-reachable function that the WCET pass cannot
+    /// bound (bare `loop`, convergence `while`, …). Waiving asserts a
+    /// bound the lexer cannot see; the loop then counts as input-bounded.
+    WcetUnbounded,
+    /// A blocking construct (file/socket I/O, `Mutex`/`RwLock`, channel
+    /// `recv`, `thread::sleep`, `println!`) in hot-path-reachable code —
+    /// unbounded *latency* rather than unbounded iteration.
+    HotPathBlocking,
+    /// A hot-path root's symbolic cost certificate grew past
+    /// `crates/lint/wcet_certificates.txt` (higher polynomial degree, new
+    /// log factor, or a new/unbounded root). Not waivable: regenerate the
+    /// certificate file deliberately via `--update-baselines`.
+    WcetCert,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::WallClock,
         Rule::UnorderedIteration,
         Rule::Entropy,
@@ -57,6 +70,9 @@ impl Rule {
         Rule::HotPathAlloc,
         Rule::HotPathPanic,
         Rule::EqCoverage,
+        Rule::WcetUnbounded,
+        Rule::HotPathBlocking,
+        Rule::WcetCert,
     ];
 
     /// The kebab-case name used in diagnostics and waiver comments.
@@ -72,6 +88,9 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::HotPathPanic => "hot-path-panic",
             Rule::EqCoverage => "eq-coverage",
+            Rule::WcetUnbounded => "wcet-unbounded",
+            Rule::HotPathBlocking => "hot-path-blocking",
+            Rule::WcetCert => "wcet-cert",
         }
     }
 
@@ -187,6 +206,30 @@ pub fn json_opt_f64(v: Option<f64>) -> String {
         Some(x) => format!("{x:.6}"),
         None => "null".to_owned(),
     }
+}
+
+/// Renders unwaived findings as GitHub Actions workflow commands
+/// (`::error file=…,line=…::…`) so lint hits surface inline on PRs.
+/// Annotation property values must not contain `,`/`::` ambiguity, so the
+/// message is percent-escaped per the workflow-command convention.
+#[must_use]
+pub fn render_annotations(findings: &[Finding]) -> String {
+    let escape = |s: &str| {
+        s.replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A")
+    };
+    let mut out = String::new();
+    for f in findings.iter().filter(|f| f.waived.is_none()) {
+        out.push_str(&format!(
+            "::error file={},line={},title=hcperf-lint {}::{}\n",
+            f.path,
+            f.line,
+            f.rule,
+            escape(&f.message)
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

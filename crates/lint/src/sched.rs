@@ -25,6 +25,12 @@
 //! steps) is the experiment itself — HCPerf's coordinators exist to ride
 //! it out — so the audit samples the whole horizon and reports the worst
 //! transient margin as information, not as a gate.
+//!
+//! A third check ties the audit to the WCET pass: each target's Eq. 9
+//! budget is only meaningful if the scheduler kernels that spend it have
+//! *bounded* certified cost, so [`wcet_cross_check`] requires every
+//! kernel in [`kernel_roots`] to carry a bounded row in
+//! `crates/lint/wcet_certificates.txt` (`sched-wcet` error otherwise).
 
 use hcperf::dps::reference;
 use hcperf::{DpsConfig, Scheme};
@@ -311,6 +317,129 @@ pub fn audit_all() -> Vec<AuditResult> {
     builtin_targets().iter().map(audit).collect()
 }
 
+/// The scheduler kernels whose certified WCET backs a target's Eq. 9
+/// budget. Every target dispatches through the simulator and is decided
+/// by the reference γ oracle; `scenario::*` presets additionally run the
+/// production DPS path (incremental γ search) and the
+/// performance-directed coordination step each period.
+#[must_use]
+pub fn kernel_roots(target_name: &str) -> Vec<&'static str> {
+    let mut roots = vec!["gamma_max", "Sim::try_dispatch"];
+    if target_name.starts_with("scenario::") {
+        roots.extend([
+            "GammaScratch::rank",
+            "GammaScratch::feasible",
+            "DynamicPriorityScheduler::gamma_max_cached",
+            "PerformanceDirectedController::step",
+        ]);
+    }
+    roots
+}
+
+/// One Eq. 9 → kernel coverage gap: a kernel a target depends on whose
+/// WCET certificate is missing or unbounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelGap {
+    /// Audit target name.
+    pub target: String,
+    /// Kernel root name from [`kernel_roots`].
+    pub kernel: String,
+    /// The certified cost; `None` when the kernel has no certificate row.
+    pub cost: Option<crate::wcet::Cost>,
+}
+
+/// Pure coverage check of audit targets against parsed certificates
+/// (keyed `(root, path)` as [`crate::wcet::parse_certs`] returns them).
+#[must_use]
+pub fn kernel_gaps(
+    results: &[AuditResult],
+    certs: &std::collections::BTreeMap<(String, String), crate::wcet::Cost>,
+) -> Vec<KernelGap> {
+    let by_name: std::collections::BTreeMap<&str, crate::wcet::Cost> = certs
+        .iter()
+        .map(|((name, _), &cost)| (name.as_str(), cost))
+        .collect();
+    let mut gaps = Vec::new();
+    for r in results {
+        for kernel in kernel_roots(&r.name) {
+            let cost = by_name.get(kernel).copied();
+            if cost.is_none() || cost == Some(crate::wcet::Cost::Unbounded) {
+                gaps.push(KernelGap {
+                    target: r.name.clone(),
+                    kernel: kernel.to_owned(),
+                    cost,
+                });
+            }
+        }
+    }
+    gaps
+}
+
+/// Reads `crates/lint/wcet_certificates.txt` under `root` and checks that
+/// every audit target's kernels carry bounded certificates.
+///
+/// # Errors
+///
+/// A missing or malformed certificate file is an error — the audit must
+/// not silently pass without the WCET artifact it leans on.
+pub fn wcet_cross_check(
+    results: &[AuditResult],
+    root: &std::path::Path,
+) -> std::io::Result<Vec<KernelGap>> {
+    let path = root.join(crate::wcet::CERT_PATH);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!(
+                "cannot read WCET certificates {}: {e}; bootstrap with --update-baselines",
+                path.display()
+            ),
+        )
+    })?;
+    let certs = crate::wcet::parse_certs(&text)
+        .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidData, m))?;
+    Ok(kernel_gaps(results, &certs))
+}
+
+/// `sched-wcet` error findings for coverage gaps, in the shared schema.
+#[must_use]
+pub fn gap_findings_json(gaps: &[KernelGap]) -> Vec<String> {
+    gaps.iter()
+        .map(|g| tagged_finding_json("sched-wcet", "error", &g.target, &gap_message(g)))
+        .collect()
+}
+
+fn gap_message(g: &KernelGap) -> String {
+    match g.cost {
+        None => format!(
+            "Eq. 9 budget relies on kernel `{}` which has no WCET certificate in {}; \
+             regenerate with --update-baselines",
+            g.kernel,
+            crate::wcet::CERT_PATH
+        ),
+        Some(c) => format!(
+            "Eq. 9 budget relies on kernel `{}` whose certified cost is {}; \
+             every budget-backing kernel must have a bounded certificate",
+            g.kernel,
+            c.render()
+        ),
+    }
+}
+
+/// Human rendering of kernel coverage gaps.
+#[must_use]
+pub fn render_gaps_human(gaps: &[KernelGap]) -> String {
+    let mut out = String::new();
+    for g in gaps {
+        out.push_str(&format!(
+            "FAIL {} — [sched-wcet] {}\n",
+            g.target,
+            gap_message(g)
+        ));
+    }
+    out
+}
+
 /// Exit code for a set of audit results.
 #[must_use]
 pub fn exit_code(results: &[AuditResult]) -> i32 {
@@ -406,9 +535,9 @@ pub fn findings_json(results: &[AuditResult]) -> Vec<String> {
     out
 }
 
-/// JSON rendering of the audit.
+/// JSON rendering of the audit, including kernel coverage gaps.
 #[must_use]
-pub fn render_json(results: &[AuditResult]) -> String {
+pub fn render_json(results: &[AuditResult], gaps: &[KernelGap]) -> String {
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
@@ -426,11 +555,17 @@ pub fn render_json(results: &[AuditResult]) -> String {
             )
         })
         .collect();
-    format!(
-        "{{\"mode\":\"schedulability\",\"targets\":[{}],\"findings\":[{}],\"exit_code\":{}}}",
-        rows.join(","),
-        findings_json(results).join(","),
+    let mut findings = findings_json(results);
+    findings.extend(gap_findings_json(gaps));
+    let exit_code = if gaps.is_empty() {
         exit_code(results)
+    } else {
+        exit::SCHEDULABILITY
+    };
+    format!(
+        "{{\"mode\":\"schedulability\",\"targets\":[{}],\"findings\":[{}],\"exit_code\":{exit_code}}}",
+        rows.join(","),
+        findings.join(","),
     )
 }
 
@@ -502,6 +637,45 @@ mod tests {
         assert!(findings[2].contains("\"rule\":\"sched-eq9-transient\""));
         assert!(findings[2].contains("\"severity\":\"info\""));
         assert_eq!(exit_code(&[r]), exit::SCHEDULABILITY);
+    }
+
+    #[test]
+    fn kernel_gaps_flag_missing_and_unbounded_certificates() {
+        use crate::wcet::Cost;
+        let results = audit_all();
+        // A full bounded certificate set covers everything.
+        let mut certs = std::collections::BTreeMap::new();
+        for name in [
+            "gamma_max",
+            "Sim::try_dispatch",
+            "GammaScratch::rank",
+            "GammaScratch::feasible",
+            "DynamicPriorityScheduler::gamma_max_cached",
+            "PerformanceDirectedController::step",
+        ] {
+            certs.insert((name.to_owned(), "x.rs".to_owned()), Cost::N_LOG_N);
+        }
+        assert!(kernel_gaps(&results, &certs).is_empty());
+
+        // Removing the DPS kernel breaks every scenario::* target but not
+        // the bare graphs (they only use the reference oracle + dispatch).
+        certs.remove(&("GammaScratch::rank".to_owned(), "x.rs".to_owned()));
+        let gaps = kernel_gaps(&results, &certs);
+        assert_eq!(gaps.len(), 5, "{gaps:?}");
+        assert!(gaps.iter().all(|g| g.kernel == "GammaScratch::rank"));
+        assert!(gaps.iter().all(|g| g.target.starts_with("scenario::")));
+
+        // An unbounded certificate is as bad as a missing one.
+        certs.insert(
+            ("GammaScratch::rank".to_owned(), "x.rs".to_owned()),
+            Cost::Unbounded,
+        );
+        let gaps = kernel_gaps(&results, &certs);
+        assert_eq!(gaps.len(), 5);
+        assert_eq!(gaps[0].cost, Some(Cost::Unbounded));
+        let findings = gap_findings_json(&gaps);
+        assert!(findings[0].contains("\"rule\":\"sched-wcet\""));
+        assert!(findings[0].contains("\"severity\":\"error\""));
     }
 
     #[test]

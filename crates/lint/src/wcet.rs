@@ -1,0 +1,1050 @@
+//! Static WCET / loop-bound certificates for hot paths (`--wcet`).
+//!
+//! HCPerf's Eq. 9 budgets (`dᵢ = Dᵢ − cᵢ`) are only trustworthy if the
+//! scheduler's own kernels have analyzable cost: a quadratic loop or a
+//! hidden blocking call re-enters the 100 ms coordination period without
+//! any test noticing until latency plots drift. This pass makes compute
+//! cost a *checked artifact*:
+//!
+//! 1. **Loop lattice** — every loop in a hot-path-reachable function is
+//!    classified lexically ([`crate::parse::LoopClass`]): *constant*
+//!    (`for _ in 0..4`), *input-bounded* (`for i in 0..n`, counter
+//!    `while`s, draining `while let … = q.pop()`), or *unknown*. Unknown
+//!    loops are [`Rule::WcetUnbounded`] findings unless waived — a waiver
+//!    asserts a bound the lexer cannot see and demotes the loop to
+//!    input-bounded.
+//! 2. **Interprocedural propagation** — costs live in a single-variable
+//!    abstraction `O(n^d log^l n) | unbounded` ([`Cost`]). Sequential
+//!    composition takes the max; loop nesting and call-at-depth multiply
+//!    (degree saturates at [`MAX_DEGREE`] → unbounded, so the fixpoint
+//!    over the over-approximate, possibly cyclic call graph terminates).
+//!    Known-cost std calls (`sort*` → n log n, `binary_search*` → log n,
+//!    iterator consumers → n) are charged from a table; unknown external
+//!    calls are charged O(1).
+//! 3. **Certificates** — each hot-path root gets a symbolic cost row in
+//!    `crates/lint/wcet_certificates.txt`, ratcheted: a PR cannot raise a
+//!    root's polynomial degree, add a log factor, or introduce an
+//!    unbounded loop without regenerating the file via
+//!    `--update-baselines` (which makes the cost change reviewable).
+//! 4. **Blocking surface** — file/socket I/O, `Mutex`/`RwLock`, channel
+//!    `recv`, `thread::sleep` and console printing are forbidden in
+//!    reachable code outright ([`Rule::HotPathBlocking`], waivable).
+//!
+//! Known over- and under-approximations are listed in ARCHITECTURE.md;
+//! the headline ones: all input bounds collapse onto one symbol `n`
+//! (a loop over tasks inside a loop over processors reads as n², not
+//! n·m); constant loops multiply cost by 1; macro bodies are invisible
+//! (the alloc rule keeps them off hot paths separately); unknown external
+//! calls are assumed O(1).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::callgraph::CallGraph;
+use crate::hotpath::{pattern_offsets, waiver_covers};
+use crate::parse::{parse_file, LoopClass, ParsedFile};
+use crate::report::{exit, Finding, Rule};
+use crate::workspace::{load_sources, SourceFile, DETERMINISTIC_CRATES};
+
+/// Workspace-relative path of the certificate ratchet file.
+pub const CERT_PATH: &str = "crates/lint/wcet_certificates.txt";
+
+/// Polynomial degree past which a cost saturates to [`Cost::Unbounded`].
+/// Real kernels here are ≤ O(n² log n); degree 7 only arises from cycles
+/// in the over-approximate call graph, where saturation is what makes the
+/// fixpoint terminate.
+pub const MAX_DEGREE: u8 = 6;
+
+/// Log factors saturate here (no further growth is meaningful).
+pub const MAX_LOGS: u8 = 3;
+
+/// Symbolic cost in the single-variable abstraction: `O(n^degree log^logs
+/// n)` or unbounded. The derived ordering is the lattice order — degree
+/// dominates, then log count, and `Unbounded` tops everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cost {
+    /// `O(n^degree · log^logs n)`.
+    Bounded {
+        /// Polynomial degree (0 = constant in `n`).
+        degree: u8,
+        /// Number of log factors.
+        logs: u8,
+    },
+    /// No static bound.
+    Unbounded,
+}
+
+impl Cost {
+    /// `O(1)`.
+    pub const ONE: Cost = Cost::Bounded { degree: 0, logs: 0 };
+    /// `O(n)`.
+    pub const LINEAR: Cost = Cost::Bounded { degree: 1, logs: 0 };
+    /// `O(log n)`.
+    pub const LOG: Cost = Cost::Bounded { degree: 0, logs: 1 };
+    /// `O(n log n)`.
+    pub const N_LOG_N: Cost = Cost::Bounded { degree: 1, logs: 1 };
+
+    /// Multiplicative composition (nesting): degrees and log counts add,
+    /// saturating to [`Cost::Unbounded`] past [`MAX_DEGREE`].
+    #[must_use]
+    pub fn times(self, other: Cost) -> Cost {
+        match (self, other) {
+            (
+                Cost::Bounded {
+                    degree: d1,
+                    logs: l1,
+                },
+                Cost::Bounded {
+                    degree: d2,
+                    logs: l2,
+                },
+            ) => {
+                let degree = d1.saturating_add(d2);
+                if degree > MAX_DEGREE {
+                    Cost::Unbounded
+                } else {
+                    Cost::Bounded {
+                        degree,
+                        logs: l1.saturating_add(l2).min(MAX_LOGS),
+                    }
+                }
+            }
+            _ => Cost::Unbounded,
+        }
+    }
+
+    /// Renders the certificate notation (`O(1)`, `O(n log n)`, `O(n^2)`,
+    /// …, `unbounded`).
+    #[must_use]
+    pub fn render(self) -> String {
+        let Cost::Bounded { degree, logs } = self else {
+            return "unbounded".to_owned();
+        };
+        let poly = match degree {
+            0 => String::new(),
+            1 => "n".to_owned(),
+            d => format!("n^{d}"),
+        };
+        let log = match logs {
+            0 => String::new(),
+            1 => "log n".to_owned(),
+            l => format!("log^{l} n"),
+        };
+        match (poly.is_empty(), log.is_empty()) {
+            (true, true) => "O(1)".to_owned(),
+            (true, false) => format!("O({log})"),
+            (false, true) => format!("O({poly})"),
+            (false, false) => format!("O({poly} {log})"),
+        }
+    }
+
+    /// Parses the notation [`Cost::render`] produces.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Cost> {
+        let s = s.trim();
+        if s == "unbounded" {
+            return Some(Cost::Unbounded);
+        }
+        let inner = s.strip_prefix("O(")?.strip_suffix(')')?.trim();
+        if inner == "1" {
+            return Some(Cost::ONE);
+        }
+        let mut degree = 0u8;
+        let mut logs = 0u8;
+        let mut toks = inner.split_whitespace().peekable();
+        while let Some(t) = toks.next() {
+            if t == "n" {
+                degree = 1;
+            } else if let Some(d) = t.strip_prefix("n^") {
+                degree = d.parse().ok()?;
+            } else if t == "log" || t.starts_with("log^") {
+                logs = t.strip_prefix("log^").map_or(Some(1), |l| l.parse().ok())?;
+                // consume the trailing `n` of `log… n`
+                if toks.peek() == Some(&"n") {
+                    toks.next();
+                } else {
+                    return None;
+                }
+            } else {
+                return None;
+            }
+        }
+        Some(Cost::Bounded { degree, logs })
+    }
+}
+
+/// Cost of a call with no workspace definition, by callee name. The table
+/// covers std methods whose cost is part of their contract; everything
+/// else is charged `O(1)` (documented under-approximation — explicit
+/// loops and the alloc rule cover the rest).
+#[must_use]
+pub fn external_cost(name: &str) -> Cost {
+    if name.starts_with("sort") {
+        return Cost::N_LOG_N;
+    }
+    if name.starts_with("binary_search") || name == "partition_point" {
+        return Cost::LOG;
+    }
+    const LINEAR: [&str; 28] = [
+        "collect",
+        "to_vec",
+        "extend",
+        "extend_from_slice",
+        "resize",
+        "fill",
+        "dedup",
+        "retain",
+        "contains",
+        "position",
+        "rposition",
+        "find",
+        "find_map",
+        "fold",
+        "sum",
+        "product",
+        "count",
+        "min",
+        "max",
+        "min_by",
+        "max_by",
+        "min_by_key",
+        "max_by_key",
+        "any",
+        "all",
+        "for_each",
+        "copy_from_slice",
+        "clone_from_slice",
+    ];
+    if LINEAR.contains(&name) {
+        return Cost::LINEAR;
+    }
+    Cost::ONE
+}
+
+/// Blocking constructs forbidden in hot-path-reachable code: each one can
+/// stall the dispatch loop for an unbounded *wall-clock* time even though
+/// its iteration count is trivially bounded.
+const BLOCKING_PATTERNS: [&str; 18] = [
+    "Mutex",
+    "RwLock",
+    ".lock(",
+    ".recv(",
+    ".recv_timeout(",
+    "thread::sleep",
+    "println!",
+    "eprintln!",
+    "print!",
+    "eprint!",
+    "File::open",
+    "File::create",
+    "OpenOptions",
+    "TcpStream",
+    "UdpSocket",
+    "stdin(",
+    "stdout(",
+    "read_to_string",
+];
+
+/// The concrete source construct a cost bound traces back to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human description (`\`for\` loop over self.key.len()`, `\`sort_unstable_by\` call`).
+    pub what: String,
+}
+
+/// One hot-path root's certificate.
+#[derive(Debug, Clone)]
+pub struct CertRow {
+    /// Qualified root name (`Type::fn` or `fn`).
+    pub name: String,
+    /// Workspace-relative path of the root's defining file.
+    pub path: String,
+    /// Propagated symbolic cost.
+    pub cost: Cost,
+    /// Dominant construct the cost traces to (`None` for O(1) roots).
+    pub witness: Option<Witness>,
+}
+
+/// One certificate row's comparison against the checked-in file.
+#[derive(Debug, Clone)]
+pub struct CertDelta {
+    /// Qualified root name.
+    pub name: String,
+    /// Root's defining file.
+    pub path: String,
+    /// Certified cost (`None` = root is new).
+    pub baseline: Option<Cost>,
+    /// Measured cost (`None` = root removed).
+    pub current: Option<Cost>,
+}
+
+/// Outcome of the certificate ratchet comparison.
+#[derive(Debug, Default)]
+pub struct CertRatchet {
+    /// Roots whose cost grew or that are new (fails the run).
+    pub growth: Vec<CertDelta>,
+    /// Roots whose cost shrank or that disappeared (refresh the file).
+    pub shrink: Vec<CertDelta>,
+}
+
+impl CertRatchet {
+    /// True when no root's cost grew.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.growth.is_empty()
+    }
+}
+
+/// Loop-classification tallies over the reachable set.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoopStats {
+    /// `for` over literal ranges.
+    pub constant: usize,
+    /// Loops with a lexically visible input bound.
+    pub input_bounded: usize,
+    /// Unknown loops demoted to input-bounded by an inline waiver.
+    pub waived: usize,
+    /// Unknown loops with no waiver (each one is a finding).
+    pub unbounded: usize,
+}
+
+/// Result of the WCET analysis.
+#[derive(Debug)]
+pub struct WcetReport {
+    /// Per-root certificates, sorted by (name, path).
+    pub certs: Vec<CertRow>,
+    /// Unwaived findings: `wcet-unbounded`, `hot-path-blocking`, and
+    /// `wcet-cert` growth findings when ratcheting.
+    pub findings: Vec<Finding>,
+    /// Waived sites with their reasons.
+    pub waived: Vec<Finding>,
+    /// Certificate comparison; `None` when regenerating.
+    pub ratchet: Option<CertRatchet>,
+    /// Loop tallies over the reachable set.
+    pub loop_stats: LoopStats,
+    /// Reachable function count.
+    pub reachable_fns: usize,
+    /// `.rs` files parsed.
+    pub files_scanned: usize,
+}
+
+impl WcetReport {
+    /// Exit code: structural findings (unbounded loops, blocking calls)
+    /// are `FINDINGS`; certificate growth alone is `RATCHET`.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if self.findings.iter().any(|f| f.rule != Rule::WcetCert) {
+            exit::FINDINGS
+        } else if self.ratchet.as_ref().is_some_and(|r| !r.ok()) {
+            exit::RATCHET
+        } else {
+            exit::CLEAN
+        }
+    }
+}
+
+/// Parses the `root<TAB>cost<TAB>path` certificate format.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed row.
+pub fn parse_certs(text: &str) -> Result<BTreeMap<(String, String), Cost>, String> {
+    let mut map = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(name), Some(cost), Some(path)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "wcet certificates line {}: expected `root<TAB>cost<TAB>path`",
+                idx + 1
+            ));
+        };
+        let cost = Cost::parse(cost)
+            .ok_or_else(|| format!("wcet certificates line {}: bad cost `{cost}`", idx + 1))?;
+        map.insert((name.trim().to_owned(), path.trim().to_owned()), cost);
+    }
+    Ok(map)
+}
+
+/// Renders the certificate file from measured rows.
+#[must_use]
+pub fn render_certs(rows: &[CertRow]) -> String {
+    let mut out = String::from(
+        "# hcperf-lint WCET certificates: symbolic cost bound per hot-path\n\
+         # root, propagated over the call graph from the loop lattice. Rows\n\
+         # are `root<TAB>cost<TAB>path` in the single-variable abstraction\n\
+         # O(n^d log^l n); the ratchet rejects any cost increase. Regenerate\n\
+         # deliberately with `cargo run -p hcperf-lint -- --update-baselines`.\n",
+    );
+    for r in rows {
+        out.push_str(&format!("{}\t{}\t{}\n", r.name, r.cost.render(), r.path));
+    }
+    out
+}
+
+/// Compares measured certificates against the checked-in file.
+#[must_use]
+pub fn compare(rows: &[CertRow], baseline: &BTreeMap<(String, String), Cost>) -> CertRatchet {
+    let mut ratchet = CertRatchet::default();
+    let mut seen = BTreeMap::new();
+    for r in rows {
+        let key = (r.name.clone(), r.path.clone());
+        seen.insert(key.clone(), ());
+        let base = baseline.get(&key).copied();
+        let delta = CertDelta {
+            name: r.name.clone(),
+            path: r.path.clone(),
+            baseline: base,
+            current: Some(r.cost),
+        };
+        match base {
+            None => ratchet.growth.push(delta),
+            Some(b) if r.cost > b => ratchet.growth.push(delta),
+            Some(b) if r.cost < b => ratchet.shrink.push(delta),
+            _ => {}
+        }
+    }
+    for (key, &base) in baseline {
+        if !seen.contains_key(key) {
+            ratchet.shrink.push(CertDelta {
+                name: key.0.clone(),
+                path: key.1.clone(),
+                baseline: Some(base),
+                current: None,
+            });
+        }
+    }
+    ratchet
+}
+
+/// Effective loop class after waiver resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Eff {
+    Constant,
+    Input,
+    Unbounded,
+}
+
+impl Eff {
+    /// The multiplicative cost of one iteration *count* of this loop.
+    fn factor(self) -> Cost {
+        match self {
+            Eff::Constant => Cost::ONE,
+            Eff::Input => Cost::LINEAR,
+            Eff::Unbounded => Cost::Unbounded,
+        }
+    }
+}
+
+/// Analysis output before any baseline comparison.
+#[derive(Debug)]
+pub(crate) struct WcetAnalysis {
+    pub certs: Vec<CertRow>,
+    pub findings: Vec<Finding>,
+    pub waived: Vec<Finding>,
+    pub loop_stats: LoopStats,
+    pub reachable_fns: usize,
+}
+
+fn snippet_of(src: &SourceFile, line: usize) -> String {
+    src.raw
+        .lines()
+        .nth(line - 1)
+        .map_or("", str::trim)
+        .to_owned()
+}
+
+/// Core analysis over already-loaded sources (separated from [`run_wcet`]
+/// so tests can drive it with synthetic files).
+pub(crate) fn analyze(sources: &[SourceFile]) -> WcetAnalysis {
+    let parsed: Vec<ParsedFile> = crate::par::map(sources, |s| {
+        parse_file(&s.rel, &s.masked.masked, &s.masked.hot_path_roots)
+    });
+    let graph = CallGraph::build(&parsed);
+    let reachable = graph.reachable_from_roots();
+    let by_rel: BTreeMap<&str, &SourceFile> = sources.iter().map(|s| (s.rel.as_str(), s)).collect();
+
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    let mut stats = LoopStats::default();
+
+    // 1. Effective class per loop of each reachable node.
+    let mut eff: BTreeMap<usize, Vec<Eff>> = BTreeMap::new();
+    for &i in &reachable {
+        let node = &graph.nodes[i];
+        let src = by_rel[node.path.as_str()];
+        let mut classes = Vec::with_capacity(graph.loops[i].len());
+        for l in &graph.loops[i] {
+            let e = match &l.class {
+                LoopClass::Constant => {
+                    stats.constant += 1;
+                    Eff::Constant
+                }
+                LoopClass::InputBounded(_) => {
+                    stats.input_bounded += 1;
+                    Eff::Input
+                }
+                LoopClass::Unknown => {
+                    match waiver_covers(&src.masked.waivers, Rule::WcetUnbounded, l.line) {
+                        Some(reason) => {
+                            stats.waived += 1;
+                            waived.push(loop_finding(node, l, src, Some(reason)));
+                            Eff::Input
+                        }
+                        None => {
+                            stats.unbounded += 1;
+                            findings.push(loop_finding(node, l, src, None));
+                            Eff::Unbounded
+                        }
+                    }
+                }
+            };
+            classes.push(e);
+        }
+        eff.insert(i, classes);
+    }
+
+    // Multiplier at a byte offset: product of the factors of every loop
+    // whose span contains it.
+    let mult_at = |i: usize, at: usize| -> Cost {
+        let mut m = Cost::ONE;
+        for (l, e) in graph.loops[i].iter().zip(&eff[&i]) {
+            if l.span.0 < at && at < l.span.1 {
+                m = m.times(e.factor());
+            }
+        }
+        m
+    };
+
+    // 2. Intra-procedural seed: loops themselves plus external calls.
+    let n = graph.nodes.len();
+    let mut cost = vec![Cost::ONE; n];
+    let mut wit: Vec<Option<Witness>> = vec![None; n];
+    for &i in &reachable {
+        let node = &graph.nodes[i];
+        for (l, e) in graph.loops[i].iter().zip(&eff[&i]) {
+            let total = mult_at(i, l.span.0).times(e.factor());
+            if total > cost[i] {
+                cost[i] = total;
+                let bound = match &l.class {
+                    LoopClass::InputBounded(s) => format!("`{}` loop over {s}", l.keyword),
+                    _ => format!("`{}` loop", l.keyword),
+                };
+                wit[i] = Some(Witness {
+                    path: node.path.clone(),
+                    line: l.line,
+                    what: bound,
+                });
+            }
+        }
+        for se in &graph.sites[i] {
+            if !se.callees.is_empty() {
+                continue;
+            }
+            let ext = external_cost(&se.site.name);
+            if ext == Cost::ONE {
+                continue;
+            }
+            let total = mult_at(i, se.site.offset).times(ext);
+            if total > cost[i] {
+                cost[i] = total;
+                wit[i] = Some(Witness {
+                    path: node.path.clone(),
+                    line: se.site.line,
+                    what: format!("`{}` call ({})", se.site.name, ext.render()),
+                });
+            }
+        }
+    }
+
+    // 3. Interprocedural fixpoint. Monotone over a finite lattice (degree
+    // saturates), so this terminates even on call-graph cycles.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &i in &reachable {
+            for se in &graph.sites[i] {
+                if se.callees.is_empty() {
+                    continue;
+                }
+                let mult = mult_at(i, se.site.offset);
+                for &c in &se.callees {
+                    let cand = mult.times(cost[c]);
+                    if cand > cost[i] {
+                        cost[i] = cand;
+                        wit[i] = wit[c].clone().or_else(|| {
+                            Some(Witness {
+                                path: graph.nodes[i].path.clone(),
+                                line: se.site.line,
+                                what: format!("`{}` call", se.site.name),
+                            })
+                        });
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Blocking surface over the reachable set.
+    for &i in &reachable {
+        let node = &graph.nodes[i];
+        let Some(body) = node.body else { continue };
+        let src = by_rel[node.path.as_str()];
+        let lines = crate::parse::LineIndex::new(&src.masked.masked);
+        for pat in BLOCKING_PATTERNS {
+            for at in pattern_offsets(&src.masked.masked, body, pat) {
+                let line = lines.line_of(at);
+                let construct = pat.trim_matches(|c| c == '.' || c == '(').to_owned();
+                let f = Finding {
+                    rule: Rule::HotPathBlocking,
+                    path: node.path.clone(),
+                    line,
+                    snippet: snippet_of(src, line),
+                    message: format!(
+                        "`{construct}` can block in hot-path-reachable fn `{}`; the dispatch \
+                         path must not wait on I/O, locks, channels or sleeps — move it out, \
+                         or waive with `hcperf-lint: allow(hot-path-blocking)` and a reason",
+                        node.qualified()
+                    ),
+                    waived: None,
+                };
+                match waiver_covers(&src.masked.waivers, Rule::HotPathBlocking, line) {
+                    Some(reason) => waived.push(Finding {
+                        waived: Some(reason),
+                        ..f
+                    }),
+                    None => findings.push(f),
+                }
+            }
+        }
+    }
+
+    // 5. Certificates per root.
+    let mut certs: Vec<CertRow> = graph
+        .roots()
+        .iter()
+        .map(|&r| CertRow {
+            name: graph.nodes[r].qualified(),
+            path: graph.nodes[r].path.clone(),
+            cost: cost[r],
+            witness: wit[r].clone(),
+        })
+        .collect();
+    certs.sort_by(|a, b| (&a.name, &a.path).cmp(&(&b.name, &b.path)));
+
+    // A root can be unbounded with no loop finding when degree saturates
+    // through call-graph cycles; surface that at the root itself.
+    let has_unbounded_finding = findings.iter().any(|f| f.rule == Rule::WcetUnbounded);
+    for c in &certs {
+        if c.cost == Cost::Unbounded && !has_unbounded_finding {
+            let src = by_rel[c.path.as_str()];
+            let (line, what) = c
+                .witness
+                .as_ref()
+                .map_or((1, "degree saturation".to_owned()), |w| {
+                    (w.line, w.what.clone())
+                });
+            findings.push(Finding {
+                rule: Rule::WcetUnbounded,
+                path: c.path.clone(),
+                line,
+                snippet: snippet_of(src, line),
+                message: format!(
+                    "hot-path root `{}` has no bounded certificate ({}); every root must \
+                     admit a symbolic cost bound",
+                    c.name, what
+                ),
+                waived: None,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    WcetAnalysis {
+        certs,
+        findings,
+        waived,
+        loop_stats: stats,
+        reachable_fns: reachable.len(),
+    }
+}
+
+fn loop_finding(
+    node: &crate::callgraph::FnNode,
+    l: &crate::parse::LoopSite,
+    src: &SourceFile,
+    waived: Option<String>,
+) -> Finding {
+    Finding {
+        rule: Rule::WcetUnbounded,
+        path: node.path.clone(),
+        line: l.line,
+        snippet: snippet_of(src, l.line),
+        message: format!(
+            "`{}` loop in hot-path-reachable fn `{}` has no lexically visible bound; \
+             restructure it as a bounded loop, or assert the bound with \
+             `hcperf-lint: allow(wcet-unbounded)` and a reason",
+            l.keyword,
+            node.qualified()
+        ),
+        waived,
+    }
+}
+
+/// Runs the WCET analysis over the workspace rooted at `root`.
+///
+/// When `against_baseline` is true, per-root certificates are compared to
+/// [`CERT_PATH`] and any cost increase produces [`Rule::WcetCert`]
+/// findings anchored at the dominant construct; a missing certificate
+/// file is an error so CI cannot silently skip the gate.
+///
+/// # Errors
+///
+/// Propagates I/O failures and certificate-format problems.
+pub fn run_wcet(root: &Path, against_baseline: bool) -> io::Result<WcetReport> {
+    let sources = load_sources(root, &DETERMINISTIC_CRATES, true)?;
+    let mut analysis = analyze(&sources);
+
+    let mut ratchet = None;
+    if against_baseline {
+        let path = root.join(CERT_PATH);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!(
+                    "cannot read WCET certificates {}: {e}; bootstrap with --update-baselines",
+                    path.display()
+                ),
+            )
+        })?;
+        let baseline =
+            parse_certs(&text).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        let cmp = compare(&analysis.certs, &baseline);
+        let by_rel: BTreeMap<&str, &SourceFile> =
+            sources.iter().map(|s| (s.rel.as_str(), s)).collect();
+        for g in &cmp.growth {
+            let row = analysis
+                .certs
+                .iter()
+                .find(|c| c.name == g.name && c.path == g.path);
+            let (path, line, what) = row.and_then(|c| c.witness.as_ref()).map_or_else(
+                || (g.path.clone(), 1, "no dominant construct".to_owned()),
+                |w| (w.path.clone(), w.line, w.what.clone()),
+            );
+            let snippet = by_rel
+                .get(path.as_str())
+                .map_or_else(String::new, |s| snippet_of(s, line));
+            analysis.findings.push(Finding {
+                rule: Rule::WcetCert,
+                path,
+                line,
+                snippet,
+                message: format!(
+                    "hot-path root `{}` now costs {}, certified {} in {CERT_PATH} \
+                     (dominant: {what}); lower the cost, or regenerate certificates \
+                     deliberately with --update-baselines",
+                    g.name,
+                    g.current.map_or_else(|| "?".to_owned(), Cost::render),
+                    g.baseline
+                        .map_or_else(|| "nothing (new root)".to_owned(), Cost::render),
+                ),
+                waived: None,
+            });
+        }
+        analysis
+            .findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        ratchet = Some(cmp);
+    }
+
+    Ok(WcetReport {
+        certs: analysis.certs,
+        findings: analysis.findings,
+        waived: analysis.waived,
+        ratchet,
+        loop_stats: analysis.loop_stats,
+        reachable_fns: analysis.reachable_fns,
+        files_scanned: sources.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::mask;
+
+    fn src_file(rel: &str, raw: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_owned(),
+            raw: raw.to_owned(),
+            masked: mask(raw),
+        }
+    }
+
+    #[test]
+    fn cost_lattice_orders_and_multiplies() {
+        let n = Cost::LINEAR;
+        let nlogn = Cost::N_LOG_N;
+        let n2 = n.times(n);
+        assert!(Cost::ONE < Cost::LOG);
+        assert!(Cost::LOG < n);
+        assert!(n < nlogn);
+        assert!(nlogn < n2);
+        assert!(n2 < n2.times(Cost::LOG));
+        assert!(n2 < Cost::Unbounded);
+        assert_eq!(n.times(Cost::Unbounded), Cost::Unbounded);
+        // Degree saturation guarantees fixpoint termination on cycles.
+        let mut c = n;
+        for _ in 0..MAX_DEGREE + 1 {
+            c = c.times(n);
+        }
+        assert_eq!(c, Cost::Unbounded);
+    }
+
+    #[test]
+    fn cost_notation_round_trips() {
+        let cases = [
+            Cost::ONE,
+            Cost::LOG,
+            Cost::LINEAR,
+            Cost::N_LOG_N,
+            Cost::Bounded { degree: 2, logs: 0 },
+            Cost::Bounded { degree: 2, logs: 1 },
+            Cost::Bounded { degree: 3, logs: 2 },
+            Cost::Unbounded,
+        ];
+        for c in cases {
+            assert_eq!(Cost::parse(&c.render()), Some(c), "{}", c.render());
+        }
+        assert_eq!(Cost::parse("O(n log n)"), Some(Cost::N_LOG_N));
+        assert_eq!(Cost::parse("garbage"), None);
+        assert_eq!(Cost::parse("O(m)"), None);
+    }
+
+    #[test]
+    fn certificates_round_trip_and_ratchet() {
+        let rows = vec![
+            CertRow {
+                name: "GammaScratch::rank".to_owned(),
+                path: "crates/core/src/dps.rs".to_owned(),
+                cost: Cost::N_LOG_N,
+                witness: None,
+            },
+            CertRow {
+                name: "Sim::try_dispatch".to_owned(),
+                path: "crates/rtsim/src/sim.rs".to_owned(),
+                cost: Cost::Bounded { degree: 2, logs: 0 },
+                witness: None,
+            },
+        ];
+        let text = render_certs(&rows);
+        let parsed = parse_certs(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(compare(&rows, &parsed).ok());
+
+        // Raising a degree trips the ratchet; shrinking passes.
+        let mut grown = rows.clone();
+        grown[0].cost = Cost::Bounded { degree: 2, logs: 1 };
+        let cmp = compare(&grown, &parsed);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.growth[0].name, "GammaScratch::rank");
+
+        let mut shrunk = rows.clone();
+        shrunk[1].cost = Cost::LINEAR;
+        assert!(compare(&shrunk, &parsed).ok());
+
+        // A new root must be certified deliberately.
+        let mut extended = rows.clone();
+        extended.push(CertRow {
+            name: "newcomer".to_owned(),
+            path: "x.rs".to_owned(),
+            cost: Cost::ONE,
+            witness: None,
+        });
+        assert!(!compare(&extended, &parsed).ok());
+    }
+
+    #[test]
+    fn rejects_malformed_certificates() {
+        assert!(parse_certs("nonsense").is_err());
+        assert!(parse_certs("root\tO(n!)\tx.rs").is_err());
+        assert!(parse_certs("# comment\nroot\tO(n)\tx.rs\n").is_ok());
+    }
+
+    #[test]
+    fn sort_call_yields_n_log_n_certificate() {
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn rank(xs: &mut [u32]) {
+    xs.sort_unstable();
+}
+",
+        )];
+        let a = analyze(&files);
+        assert_eq!(a.certs.len(), 1);
+        assert_eq!(a.certs[0].cost, Cost::N_LOG_N);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        let w = a.certs[0].witness.as_ref().unwrap();
+        assert_eq!(
+            (w.line, w.what.as_str()),
+            (3, "`sort_unstable` call (O(n log n))")
+        );
+    }
+
+    #[test]
+    fn nested_loops_multiply_and_propagate_through_calls() {
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn root(n: usize) {
+    for _ in 0..n {
+        helper(n);
+    }
+}
+fn helper(n: usize) {
+    for i in 0..n {
+        touch(i);
+    }
+}
+fn touch(_i: usize) {}
+",
+        )];
+        let a = analyze(&files);
+        let root = a.certs.iter().find(|c| c.name == "root").unwrap();
+        assert_eq!(root.cost, Cost::Bounded { degree: 2, logs: 0 });
+        // The witness resolves transitively to the concrete inner loop.
+        let w = root.witness.as_ref().unwrap();
+        assert_eq!((w.path.as_str(), w.line), ("k.rs", 8));
+    }
+
+    #[test]
+    fn unwaived_unbounded_loop_is_a_finding_and_unbounded_cert() {
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn root() {
+    loop {
+        if done() { break; }
+    }
+}
+fn done() -> bool { true }
+",
+        )];
+        let a = analyze(&files);
+        assert_eq!(a.certs[0].cost, Cost::Unbounded);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, Rule::WcetUnbounded);
+        assert_eq!(a.findings[0].line, 3);
+    }
+
+    #[test]
+    fn waiver_demotes_unbounded_loop_to_input_bounded() {
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn root() {
+    // hcperf-lint: allow(wcet-unbounded): each pass retires one job
+    loop {
+        if done() { break; }
+    }
+}
+fn done() -> bool { true }
+",
+        )];
+        let a = analyze(&files);
+        assert_eq!(a.certs[0].cost, Cost::LINEAR);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.waived.len(), 1);
+        assert_eq!(a.loop_stats.waived, 1);
+    }
+
+    #[test]
+    fn blocking_constructs_in_reachable_code_are_findings() {
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn root() {
+    let m = std::sync::Mutex::new(0u32);
+    let _ = m.lock();
+    println!(\"dispatch\");
+}
+",
+        )];
+        let a = analyze(&files);
+        let rules: Vec<(usize, &str)> =
+            a.findings.iter().map(|f| (f.line, f.rule.name())).collect();
+        assert!(rules.contains(&(3, "hot-path-blocking")), "{rules:?}"); // Mutex type
+        assert!(rules.contains(&(4, "hot-path-blocking")), "{rules:?}"); // .lock(
+        assert!(rules.contains(&(5, "hot-path-blocking")), "{rules:?}"); // println!
+    }
+
+    #[test]
+    fn unreachable_code_is_not_analyzed() {
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn root() {}
+
+// far enough below the marker not to inherit it
+fn cold() {
+    loop { println!(\"spin\"); }
+}
+",
+        )];
+        let a = analyze(&files);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.certs[0].cost, Cost::ONE);
+        assert_eq!(a.loop_stats, LoopStats::default());
+    }
+
+    #[test]
+    fn recursion_without_loop_multipliers_stays_bounded() {
+        // A depth-0 call cycle (mutual recursion) stabilizes at the max of
+        // the intra costs instead of diverging — documented
+        // under-approximation; cycles *through loops* saturate instead.
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn even(n: usize) { odd(n); }
+
+// not a root: outside the marker's 3-line window
+fn odd(n: usize) { for i in 0..n { touch(i); } even(n); }
+fn touch(_i: usize) {}
+",
+        )];
+        let a = analyze(&files);
+        assert_eq!(a.certs[0].cost, Cost::LINEAR);
+
+        let files = [src_file(
+            "k.rs",
+            "\
+// hcperf-lint: hot-path-root
+fn spin(n: usize) { for _ in 0..n { spin(n); } }
+",
+        )];
+        let a = analyze(&files);
+        assert_eq!(
+            a.certs[0].cost,
+            Cost::Unbounded,
+            "loop-carried cycle saturates"
+        );
+    }
+}

@@ -195,11 +195,16 @@ pub fn load_sources(
                 .to_string_lossy()
                 .replace('\\', "/");
             let raw = fs::read_to_string(&path)?;
-            let masked = crate::source::mask(&raw);
-            out.push(SourceFile { rel, raw, masked });
+            out.push((rel, raw));
         }
     }
-    Ok(out)
+    // Masking is the expensive per-file step; fan it out. `par::map`
+    // reassembles by index, so the (sorted) load order is preserved.
+    Ok(crate::par::map(&out, |(rel, raw)| SourceFile {
+        rel: rel.clone(),
+        raw: raw.clone(),
+        masked: crate::source::mask(raw),
+    }))
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for reproducible

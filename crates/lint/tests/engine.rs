@@ -135,6 +135,11 @@ fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> Pat
         "# empty hot-path baseline\n",
     )
     .expect("write hot-path baseline");
+    fs::write(
+        root.join("crates/lint/wcet_certificates.txt"),
+        "# empty WCET certificates\n",
+    )
+    .expect("write WCET certificates");
     root
 }
 
@@ -349,6 +354,115 @@ fn binary_untested_eq_tag_fails_eq_coverage_with_exact_line() {
 }
 
 // ---------------------------------------------------------------------------
+// Binary end-to-end: WCET certificates and the baseline ratchet.
+// ---------------------------------------------------------------------------
+
+/// A hot-path root whose dominant construct is the inner loop of an
+/// O(n^2) nest on line 5.
+const QUADRATIC_KERNEL: &str = "// hcperf-lint: hot-path-root\n\
+     pub fn kernel(xs: &[u64]) -> u64 {\n\
+    \x20   let mut acc = 0;\n\
+    \x20   for a in xs {\n\
+    \x20       for b in xs {\n\
+    \x20           acc = acc + a + b;\n\
+    \x20       }\n\
+    \x20   }\n\
+    \x20   acc\n\
+     }\n";
+
+#[test]
+fn binary_wcet_regression_trips_cert_ratchet_with_exact_line() {
+    // The certificate on disk promises O(n); the code regressed to an
+    // O(n^2) nest. The ratchet must fire and anchor the finding at the
+    // inner loop that raised the degree.
+    let root = mini_workspace(
+        "wcet-regress",
+        &[("crates/core/src/hot.rs", QUADRATIC_KERNEL)],
+        "# empty baseline\n",
+    );
+    fs::write(
+        root.join("crates/lint/wcet_certificates.txt"),
+        "kernel\tO(n)\tcrates/core/src/hot.rs\n",
+    )
+    .expect("seed stale certificate");
+
+    let out = run_lint(&root, &["--wcet", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::RATCHET), "{out:?}");
+    let doc = parse_json(&out);
+    assert_eq!(doc["mode"].as_str(), Some("wcet"));
+    let findings = doc["findings"].as_array().expect("findings array");
+    let cert: Vec<_> = findings
+        .iter()
+        .filter(|f| f["rule"].as_str() == Some("wcet-cert"))
+        .collect();
+    assert_eq!(cert.len(), 1, "{findings:?}");
+    assert_eq!(cert[0]["path"].as_str(), Some("crates/core/src/hot.rs"));
+    assert_eq!(cert[0]["line"].as_f64(), Some(5.0), "inner `for b` loop");
+    let msg = cert[0]["message"].as_str().expect("message");
+    assert!(msg.contains("O(n^2)") && msg.contains("O(n)"), "{msg}");
+    let growth = doc["wcet"]["ratchet"]["growth"]
+        .as_array()
+        .expect("growth array");
+    assert_eq!(growth.len(), 1, "{growth:?}");
+
+    // The same findings surface as GitHub annotation lines.
+    let out = run_lint(&root, &["--wcet", "--annotations"]);
+    let text = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    assert!(
+        text.contains("::error file=crates/core/src/hot.rs,line=5,title=hcperf-lint wcet-cert::"),
+        "{text}"
+    );
+}
+
+#[test]
+fn binary_update_baselines_clears_dirty_certificates_in_one_run() {
+    // Dirty baseline -> exit 2; one --update-baselines run rewrites all
+    // three artifacts; the follow-up --wcet run is clean again.
+    let root = mini_workspace(
+        "wcet-refresh",
+        &[("crates/core/src/hot.rs", QUADRATIC_KERNEL)],
+        "# empty baseline\n",
+    );
+    fs::write(
+        root.join("crates/lint/wcet_certificates.txt"),
+        "kernel\tO(n)\tcrates/core/src/hot.rs\n",
+    )
+    .expect("seed stale certificate");
+    let out = run_lint(&root, &["--wcet"]);
+    assert_eq!(out.status.code(), Some(exit::RATCHET), "dirty run: {out:?}");
+
+    let out = run_lint(&root, &["--update-baselines"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let certs = fs::read_to_string(root.join("crates/lint/wcet_certificates.txt"))
+        .expect("rewritten certificates");
+    assert!(
+        certs.contains("kernel\tO(n^2)\tcrates/core/src/hot.rs"),
+        "{certs}"
+    );
+    for rewritten in [
+        "crates/lint/unwrap_baseline.txt",
+        "crates/lint/hotpath_baseline.txt",
+    ] {
+        assert!(root.join(rewritten).exists(), "{rewritten} missing");
+    }
+
+    let out = run_lint(&root, &["--wcet", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let doc = parse_json(&out);
+    let growth = doc["wcet"]["ratchet"]["growth"]
+        .as_array()
+        .expect("growth array");
+    assert!(growth.is_empty(), "{growth:?}");
+}
+
+#[test]
+fn binary_update_baselines_rejects_other_modes() {
+    let root = mini_workspace("baselines-usage", &[], "# empty baseline\n");
+    let out = run_lint(&root, &["--update-baselines", "--wcet"]);
+    assert_eq!(out.status.code(), Some(exit::USAGE), "{out:?}");
+}
+
+// ---------------------------------------------------------------------------
 // The real workspace: both modes must be clean (this is the CI gate).
 // ---------------------------------------------------------------------------
 
@@ -400,6 +514,43 @@ fn real_workspace_schedulability_audit_is_clean() {
         let target = f["target"].as_str().expect("target key");
         assert!(target_names.contains(&target), "{f:?}");
     }
+}
+
+#[test]
+fn real_workspace_wcet_gives_every_root_a_bounded_certificate() {
+    let out = run_lint(&real_root(), &["--wcet", "--json"]);
+    let doc = parse_json(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(exit::CLEAN),
+        "WCET gate must be clean; findings: {:?}, ratchet: {:?}",
+        doc["findings"],
+        doc["wcet"]["ratchet"]
+    );
+
+    // Every declared hot-path root carries a bounded (non-saturated)
+    // polynomial certificate matching crates/lint/wcet_certificates.txt.
+    let certs = doc["wcet"]["certificates"]
+        .as_array()
+        .expect("certificates array");
+    for expected in [
+        "GammaScratch::rank",
+        "GammaScratch::feasible",
+        "DynamicPriorityScheduler::gamma_max_cached",
+        "gamma_max",
+        "FifoScheduler::select",
+        "Sim::try_dispatch",
+        "PerformanceDirectedController::step",
+    ] {
+        let row = certs
+            .iter()
+            .find(|c| c["root"].as_str() == Some(expected))
+            .unwrap_or_else(|| panic!("no certificate for {expected}: {certs:?}"));
+        let cost = row["cost"].as_str().expect("cost string");
+        assert!(cost.starts_with("O("), "{expected} unbounded: {row:?}");
+    }
+    assert_eq!(certs.len(), 7, "exactly the declared roots: {certs:?}");
+    assert_eq!(doc["wcet"]["loops"]["unbounded"].as_f64(), Some(0.0));
 }
 
 #[test]

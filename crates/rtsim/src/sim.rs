@@ -695,6 +695,7 @@ impl<S: Scheduler> Sim<S> {
                 (run.finish - self.now).clamp_non_negative()
             }));
         }
+        // hcperf-lint: allow(wcet-unbounded): each pass either places a ready job on an idle core or exits; bounded by min(queue depth, processors) passes
         loop {
             let mut made_progress = false;
             for processor in 0..self.config.processors {

@@ -6,12 +6,14 @@ use std::fmt::Write as _;
 use hcperf::analysis::{analyze, liu_layland_bound, max_rate_within_bound};
 use hcperf::rta::rta_fixed_priority;
 use hcperf::Scheme;
+use hcperf_faults::FaultPlan;
 use hcperf_harness::ResultCache;
 use hcperf_rtsim::{gantt, trace_json, JoinPolicy, Sim, SimConfig};
 use hcperf_scenarios::car_following::{run_car_following, CarFollowingConfig};
 use hcperf_scenarios::fleet::{run_fleet_with_cache, FleetConfig, FleetPreset};
 use hcperf_scenarios::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
 use hcperf_scenarios::motivation::{run_motivation, MotivationConfig};
+use hcperf_scenarios::robustness::{traction_loss_comparison, TractionLossConfig};
 use hcperf_scenarios::sweep::{knee, rate_sweep_parallel_cached, SweepConfig};
 use hcperf_store::{RunSummary, Store};
 use hcperf_taskgraph::graphs::{apollo_graph, motivation_graph, GraphOptions};
@@ -126,6 +128,24 @@ COMMANDS
                             persisted, so an interrupted run
                             restarts where it stopped (--resume
                             is an alias)                       (off)
+                --faults    fault-plan preset (traction-loss |
+                            chaos) or JSON file; faults are
+                            materialized per vehicle from the
+                            root seed, so runs stay
+                            bit-identical for any --jobs        (off)
+                --retries   crashed vehicles are retried up to N
+                            times with attempt-derived seeds,
+                            then quarantined in the aggregates   (0)
+  faults      Inspect fault plans and run the robustness experiment
+                --plan      preset name or JSON file: print the
+                            canonical plan JSON                (list presets)
+                --vehicle   with --plan: preview the faults
+                            materialized for this vehicle       (off)
+                --seed      root seed for --vehicle             (990951)
+                --compare   true: run the traction-loss recovery
+                            experiment (HPF vs EDF vs HCPerf)
+                            and print the per-scheme table     (false)
+                --duration  horizon for --compare               (60)
   store       Inspect a cell store written by sweep/fleet --store
                 --path      store path                         (required)
                 --status    true|false counts per state and
@@ -134,6 +154,8 @@ COMMANDS
                             also list the N slowest done cells
                             and every stuck/failed shard (0 =
                             status only)                       (0)
+                --failed    true: list every failed cell with
+                            its attempt count and error        (false)
   trace       Run the pipeline briefly and emit the schedule
                 --scheme, --seed as above                  (edf)
                 --duration  seconds                        (0.5)
@@ -156,6 +178,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "sweep" => cmd_sweep(args),
         "analyze" => cmd_analyze(args),
         "fleet" => cmd_fleet(args),
+        "faults" => cmd_faults(args),
         "store" => cmd_store(args),
         "motivation" => cmd_motivation(args),
         "graph" => cmd_graph(args),
@@ -388,6 +411,13 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     config.queue_capacity = args.get_usize("queue", config.queue_capacity)?;
     config.aggregate_every = args.get_usize("aggregate-every", config.aggregate_every)?;
     config.timing = args.get_bool("timing", false)?;
+    if let Some(plan) = args.get("faults") {
+        config.faults = FaultPlan::resolve(plan)
+            .map_err(|e| CliError::Args(ParseError(format!("--faults {plan}: {e}"))))?;
+    }
+    let retries = args.get_u64("retries", 0)?;
+    config.max_retries = u32::try_from(retries)
+        .map_err(|_| CliError::Args(ParseError(format!("--retries {retries} is out of range"))))?;
 
     // The store (if any) outlives the cache view borrowing it.
     let mut store = match store_path(args) {
@@ -456,6 +486,18 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
         "  ok / failed / panicked: {} / {} / {}",
         summary.ok, summary.failed, summary.panicked
     );
+    if config.supervised() {
+        let _ = writeln!(
+            out,
+            "  faults / retried:       {} / {}",
+            if config.faults.is_empty() {
+                "(none)".to_owned()
+            } else {
+                config.faults.name.clone()
+            },
+            summary.retried
+        );
+    }
     let _ = writeln!(out, "  collisions:             {}", summary.collisions);
     if let Some(agg) = &summary.aggregate {
         let _ = writeln!(
@@ -479,6 +521,105 @@ fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     }
     if out_path != "-" {
         let _ = writeln!(out, "  records: {out_path}");
+    }
+    Ok(out)
+}
+
+/// `hcperf faults`: list fault-plan presets, print a resolved plan,
+/// preview a vehicle's materialized faults, or run the traction-loss
+/// recovery experiment (`--compare true`).
+fn cmd_faults(args: &Args) -> Result<String, CliError> {
+    let mut out = String::new();
+    if args.get_bool("compare", false)? {
+        let config = TractionLossConfig {
+            duration: args.get_f64("duration", 60.0)?,
+            seed: args.get_u64("seed", 42)?,
+            ..Default::default()
+        };
+        if config.duration <= 38.0 {
+            return Err(CliError::Args(ParseError(
+                "--duration must exceed 38 (the fault clears at t = 38 s)".into(),
+            )));
+        }
+        let rows = traction_loss_comparison(&config)?;
+        let _ = writeln!(
+            out,
+            "traction-loss recovery, {:.0} s horizon (fault active 30-38 s):",
+            config.duration
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>11} {:>10} {:>10} {:>9} {:>9}",
+            "scheme", "rms(fault)", "rms(after)", "miss-rec", "track-rec", "miss%", "collided"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:>8} {:12.3} {:11.3} {:9.1}s {:9.1}s {:8.2}% {:>9}",
+                r.scheme.to_string(),
+                r.rms_error_during_fault,
+                r.rms_error_after_fault,
+                r.miss_recovery_s,
+                r.tracking_recovery_s,
+                r.overall_miss_ratio * 100.0,
+                if r.collided { "YES" } else { "no" }
+            );
+        }
+        return Ok(out);
+    }
+    let Some(arg) = args.get("plan") else {
+        let _ = writeln!(out, "fault-plan presets (use with fleet --faults <name>):");
+        for name in FaultPlan::preset_names() {
+            let plan = FaultPlan::preset(name).expect("listed preset resolves");
+            let _ = writeln!(out, "  {name}: {} fault spec(s)", plan.faults.len());
+        }
+        let _ = writeln!(
+            out,
+            "a JSON file path is also accepted; `faults --plan <name>` prints the canonical JSON"
+        );
+        return Ok(out);
+    };
+    let plan = FaultPlan::resolve(arg)
+        .map_err(|e| CliError::Args(ParseError(format!("--plan {arg}: {e}"))))?;
+    let _ = writeln!(out, "{}", plan.to_json());
+    if let Some(vehicle) = args.get("vehicle") {
+        let vehicle: usize = vehicle
+            .parse()
+            .map_err(|_| CliError::Args(ParseError(format!("bad --vehicle {vehicle:?}"))))?;
+        let seed = args.get_u64("seed", 990_951)?;
+        let graph = apollo_graph(&GraphOptions::default())?;
+        let faults = plan
+            .materialize(&graph, vehicle, seed)
+            .map_err(|e| CliError::Args(ParseError(format!("materialize: {e}"))))?;
+        let _ = writeln!(
+            out,
+            "vehicle {vehicle} (root seed {seed:#x}) draws {} fault(s):",
+            faults.sim.len()
+                + faults.sensor_dropouts.len()
+                + faults.feedback.len()
+                + usize::from(faults.crash_at.is_some())
+        );
+        for w in &faults.sim {
+            let _ = writeln!(
+                out,
+                "  sim   [{:.2} s, {:.2} s): {:?}",
+                w.start.as_secs(),
+                w.end.as_secs(),
+                w.effect
+            );
+        }
+        for &(start, end) in &faults.sensor_dropouts {
+            let _ = writeln!(out, "  hold  [{start:.2} s, {end:.2} s): sensor dropout");
+        }
+        for &(start, end, miss) in &faults.feedback {
+            let _ = writeln!(
+                out,
+                "  tra   [{start:.2} s, {end:.2} s): feedback corrupt (miss ratio {miss})"
+            );
+        }
+        if let Some(t) = faults.crash_at {
+            let _ = writeln!(out, "  crash at {t:.2} s");
+        }
     }
     Ok(out)
 }
@@ -549,6 +690,13 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
             for key in &b.failed {
                 let _ = writeln!(out, "    {key}");
             }
+        }
+    }
+    if args.get_bool("failed", false)? {
+        let failed = store.failed_cells();
+        let _ = writeln!(out, "  failed cells: {}", failed.len());
+        for (key, attempts, error) in &failed {
+            let _ = writeln!(out, "    {key} ({attempts} attempt(s)): {error}");
         }
     }
     Ok(out)
@@ -893,6 +1041,102 @@ mod tests {
     #[test]
     fn store_command_validates_arguments() {
         assert!(run(&["store"]).is_err(), "--path is required");
+    }
+
+    #[test]
+    fn faults_lists_presets_and_prints_plans() {
+        let listing = run(&["faults"]).unwrap();
+        assert!(listing.contains("traction-loss"), "{listing}");
+        assert!(listing.contains("chaos"), "{listing}");
+        let plan = run(&["faults", "--plan", "traction-loss"]).unwrap();
+        assert!(plan.contains("\"name\":\"traction-loss\""), "{plan}");
+        assert!(run(&["faults", "--plan", "no-such-plan"]).is_err());
+    }
+
+    #[test]
+    fn faults_previews_a_vehicle_materialization() {
+        let out = run(&[
+            "faults",
+            "--plan",
+            "traction-loss",
+            "--vehicle",
+            "0",
+            "--seed",
+            "42",
+        ])
+        .unwrap();
+        // Probability-1 specs always draw: the spike and the dropout.
+        assert!(out.contains("draws"), "{out}");
+        assert!(out.contains("sensor dropout"), "{out}");
+        assert!(out.contains("ExecSpike"), "{out}");
+        assert!(run(&["faults", "--plan", "chaos", "--vehicle", "x"]).is_err());
+    }
+
+    #[test]
+    fn fleet_with_faults_is_supervised_and_reproducible() {
+        // Serialize with other panic-hook-sensitive tests in this crate.
+        let argv = |jobs: &'static str| {
+            vec![
+                "fleet",
+                "--vehicles",
+                "4",
+                "--duration",
+                "0.5",
+                "--faults",
+                "traction-loss",
+                "--retries",
+                "1",
+                "--jobs",
+                jobs,
+                "--out",
+            ]
+        };
+        let out1 = temp_path("fleet_faults_1.jsonl");
+        let out2 = temp_path("fleet_faults_2.jsonl");
+        fn run_to<'a>(mut argv: Vec<&'a str>, out: &'a str) -> Result<String, CliError> {
+            argv.push(out);
+            let args = Args::parse(argv.iter().copied()).unwrap();
+            dispatch(&args)
+        }
+        let s1 = run_to(argv("1"), &out1).unwrap();
+        assert!(
+            s1.contains("faults / retried:       traction-loss / 0"),
+            "{s1}"
+        );
+        let s2 = run_to(argv("2"), &out2).unwrap();
+        let t1 = std::fs::read_to_string(&out1).unwrap();
+        let t2 = std::fs::read_to_string(&out2).unwrap();
+        assert_eq!(t1, t2, "faulted fleet must not depend on --jobs");
+        // The supervised aggregate carries the quarantine fields.
+        assert!(t1.contains("\"failed_vehicles\":"), "{t1}");
+        assert!(s2.contains("ok / failed / panicked: 4 / 0 / 0"), "{s2}");
+        std::fs::remove_file(&out1).ok();
+        std::fs::remove_file(&out2).ok();
+
+        assert!(run(&["fleet", "--faults", "bogus"]).is_err());
+        assert!(run(&["fleet", "--preset", "lane-keeping", "--faults", "chaos"]).is_err());
+    }
+
+    #[test]
+    fn faults_compare_prints_the_recovery_table() {
+        assert!(run(&["faults", "--compare", "true", "--duration", "10"]).is_err());
+        // The full experiment takes ~60 simulated seconds per scheme; it
+        // runs in the scenarios suite. Here only argument plumbing is
+        // exercised via the duration guard above and the help text.
+        assert!(help().contains("--compare"));
+    }
+
+    #[test]
+    fn store_failed_listing_is_wired() {
+        let store = temp_path("failed_listing");
+        // An empty store reports zero failed cells.
+        {
+            let s = open_store(&store).unwrap();
+            drop(s);
+        }
+        let out = run(&["store", "--path", &store, "--failed", "true"]).unwrap();
+        assert!(out.contains("failed cells: 0"), "{out}");
+        std::fs::remove_file(&store).ok();
     }
 
     #[test]

@@ -43,14 +43,23 @@ pub type SweepCache<'s> = CellCache<
 /// so an interrupted or smaller run's cells resume into a larger one.
 #[must_use]
 pub fn fleet_fingerprint(config: &FleetConfig) -> String {
-    fingerprint(&[
-        "fleet",
-        FLEET_CODE_VERSION,
-        config.preset.name(),
-        &config.scheme.to_string(),
-        &format!("duration={}", config.duration),
-        &format!("root_seed={:#x}", config.root_seed),
-    ])
+    let mut parts = vec![
+        "fleet".to_owned(),
+        FLEET_CODE_VERSION.to_owned(),
+        config.preset.name().to_owned(),
+        config.scheme.to_string(),
+        format!("duration={}", config.duration),
+        format!("root_seed={:#x}", config.root_seed),
+    ];
+    // Supervised runs (fault plans and/or retries) produce different
+    // cell bytes, so they get their own identity — appended only when
+    // engaged, keeping every pre-supervision cell valid as-is.
+    if config.supervised() {
+        parts.push(format!("faults={}", config.faults.to_json()));
+        parts.push(format!("retries={}", config.max_retries));
+    }
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    fingerprint(&refs)
 }
 
 /// Cell-identity fingerprint of a rate sweep. Excludes the rate grid

@@ -64,6 +64,11 @@ pub struct PeriodDecision {
     /// Adapted source rates (equal to the inputs when the external
     /// coordinator is disabled).
     pub new_rates: Vec<(TaskId, Rate)>,
+    /// `true` when the Task Rate Adapter spent this period in degraded
+    /// mode (miss ratio at or above its configured threshold, rates
+    /// floored instead of minimized). Always `false` when the external
+    /// coordinator is disabled or the threshold is unset.
+    pub tra_degraded: bool,
 }
 
 /// The HCPerf hierarchical coordinator.
@@ -186,19 +191,23 @@ impl HcPerf {
     pub fn on_period(&mut self, input: PeriodInput<'_>) -> PeriodDecision {
         self.periods += 1;
         let nominal_u = self.pdc.step(input.tracking_error);
-        let new_rates = if self.config.external_enabled {
+        let (new_rates, tra_degraded) = if self.config.external_enabled {
             let adapted = self.tra.step(
                 input.miss_ratio,
                 input.exec_signal,
                 filter_managed(self.tra.sources(), input.current_rates).as_slice(),
             );
-            merge_rates(input.current_rates, &adapted)
+            (
+                merge_rates(input.current_rates, &adapted),
+                self.tra.is_degraded(),
+            )
         } else {
-            input.current_rates.to_vec()
+            (input.current_rates.to_vec(), false)
         };
         PeriodDecision {
             nominal_u,
             new_rates,
+            tra_degraded,
         }
     }
 
@@ -257,6 +266,16 @@ impl HcPerfBuilder {
     #[must_use]
     pub fn target_miss_ratio(mut self, target: f64) -> Self {
         self.config.rate.target_miss_ratio = target;
+        self
+    }
+
+    /// Shortcut: arms graceful degradation in the Task Rate Adapter — at
+    /// or above `miss_threshold` the adapter floors rates at
+    /// `min + floor_frac·span` instead of driving them to the minimum.
+    #[must_use]
+    pub fn degraded_rate_floor(mut self, miss_threshold: f64, floor_frac: f64) -> Self {
+        self.config.rate.degraded_miss_threshold = miss_threshold;
+        self.config.rate.rate_floor_frac = floor_frac;
         self
     }
 
@@ -388,6 +407,37 @@ mod tests {
             current_rates: &rates,
         });
         assert_eq!(d.new_rates, rates);
+        assert!(!d.tra_degraded);
+    }
+
+    /// The degraded flag surfaces through the period decision when the
+    /// rate adapter's threshold is armed and crossed.
+    #[test]
+    fn degraded_flag_surfaces_in_period_decision() {
+        let graph = apollo_graph(&GraphOptions::default()).unwrap();
+        let mut c = HcPerf::builder()
+            .degraded_rate_floor(0.5, 0.25)
+            .build(&graph)
+            .unwrap();
+        let rates: Vec<_> = graph
+            .sources()
+            .iter()
+            .map(|&s| (s, Rate::from_hz(10.0)))
+            .collect();
+        let d = c.on_period(PeriodInput {
+            tracking_error: 0.0,
+            miss_ratio: 0.9,
+            exec_signal: 0.02,
+            current_rates: &rates,
+        });
+        assert!(d.tra_degraded);
+        let d = c.on_period(PeriodInput {
+            tracking_error: 0.0,
+            miss_ratio: 0.0,
+            exec_signal: 0.02,
+            current_rates: &d.new_rates,
+        });
+        assert!(!d.tra_degraded, "flag clears on recovery");
     }
 
     #[test]

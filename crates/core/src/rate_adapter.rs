@@ -43,6 +43,15 @@ pub struct RateAdapterConfig {
     pub reset_threshold: f64,
     /// Window length (periods) of the execution-time watchdog.
     pub watchdog_window: usize,
+    /// Miss ratio at or above which the adapter enters degraded mode
+    /// for the period. The default (`f64::INFINITY`) never degrades, so
+    /// existing configurations behave exactly as before.
+    pub degraded_miss_threshold: f64,
+    /// Fraction of each source's allowable span kept as a minimum
+    /// service rate while degraded: the adapted rate is floored at
+    /// `min + frac·(max − min)` instead of collapsing to `min`. `0.0`
+    /// (the default) keeps the historical clamp.
+    pub rate_floor_frac: f64,
 }
 
 impl Default for RateAdapterConfig {
@@ -55,6 +64,8 @@ impl Default for RateAdapterConfig {
             min_gain: 1e-3,
             reset_threshold: 0.25,
             watchdog_window: 10,
+            degraded_miss_threshold: f64::INFINITY,
+            rate_floor_frac: 0.0,
         }
     }
 }
@@ -92,6 +103,7 @@ pub struct TaskRateAdapter {
     gain: f64,
     exec_watchdog: SlidingWindow,
     resets: u64,
+    degraded: bool,
 }
 
 impl TaskRateAdapter {
@@ -102,6 +114,7 @@ impl TaskRateAdapter {
             gain: config.initial_gain,
             exec_watchdog: SlidingWindow::new(config.watchdog_window.max(2)),
             resets: 0,
+            degraded: false,
             config,
             sources,
         }
@@ -131,6 +144,15 @@ impl TaskRateAdapter {
         &self.sources
     }
 
+    /// `true` while the adapter is in degraded mode: the last observed
+    /// miss ratio was at or above
+    /// [`RateAdapterConfig::degraded_miss_threshold`], so adapted rates
+    /// are being floored rather than driven to their range minimum.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Advances one external-coordinator period.
     ///
     /// * `miss_ratio` — measured `m(k)` over the last window;
@@ -151,6 +173,7 @@ impl TaskRateAdapter {
         current: &[(TaskId, Rate)],
     ) -> Vec<(TaskId, Rate)> {
         self.watchdog(exec_signal);
+        self.degraded = miss_ratio >= self.config.degraded_miss_threshold;
         // e(k) = m_t − m(k), with the zero-miss bonus.
         // hcperf-lint: allow(float-eq): the zero-miss bonus applies only to an exact 0/n window count
         let error = if miss_ratio == 0.0 {
@@ -171,6 +194,17 @@ impl TaskRateAdapter {
                 let span = slot.range.max().as_hz() - slot.range.min().as_hz();
                 let next = rate.as_hz() + self.gain * error * span;
                 let next = next.clamp(slot.range.min().as_hz(), slot.range.max().as_hz());
+                // Graceful degradation: under an extreme miss ratio the
+                // proportional loop would starve the pipeline at the
+                // range minimum; keep a configured minimum service rate
+                // instead so the vehicle retains sensing while faulted.
+                let next = if self.degraded {
+                    let floor = slot.range.min().as_hz()
+                        + self.config.rate_floor_frac.clamp(0.0, 1.0) * span;
+                    next.max(floor)
+                } else {
+                    next
+                };
                 (slot.task, Rate::from_hz(next))
             })
             .collect();
@@ -304,6 +338,43 @@ mod tests {
             let _ = tra.step(0.0, jitter, &rates(50.0, 30.0));
         }
         assert_eq!(tra.resets(), 0);
+    }
+
+    /// Degraded mode floors rates at `min + frac·span` instead of the
+    /// range minimum, flags itself, and clears once misses recover.
+    #[test]
+    fn degraded_mode_floors_rates_and_clears_on_recovery() {
+        let config = RateAdapterConfig {
+            degraded_miss_threshold: 0.5,
+            rate_floor_frac: 0.2,
+            ..RateAdapterConfig::default()
+        };
+        let mut tra = TaskRateAdapter::new(
+            config,
+            vec![SourceSlot {
+                task: TaskId::new(0),
+                range: RateRange::from_hz(10.0, 100.0),
+            }],
+        );
+        assert!(!tra.is_degraded());
+        // Catastrophic miss ratio: the plain loop would clamp to 10 Hz,
+        // degraded mode holds the 20% service floor (10 + 0.2·90 = 28).
+        let out = tra.step(1.0, 1.0, &[(TaskId::new(0), Rate::from_hz(50.0))]);
+        assert!(tra.is_degraded());
+        assert_eq!(out[0].1, Rate::from_hz(28.0));
+        // Recovery: the flag clears and normal adaptation resumes.
+        let out = tra.step(0.0, 1.0, &[out[0]]);
+        assert!(!tra.is_degraded());
+        assert!(out[0].1 > Rate::from_hz(28.0));
+    }
+
+    /// The defaults never enter degraded mode, so pre-existing
+    /// configurations keep their exact behavior.
+    #[test]
+    fn default_config_never_degrades() {
+        let mut tra = adapter();
+        let _ = tra.step(1.0, 1.0, &rates(10.0, 20.0));
+        assert!(!tra.is_degraded());
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub trait ResultCache<O> {
     /// batch is aborted first).
     fn get(&mut self, key: &str) -> Option<O>;
 
+    /// Like [`ResultCache::get`], but also reports how many attempts the
+    /// cached result originally took, so a replayed batch reproduces its
+    /// retry accounting byte for byte. The default assumes a first-try
+    /// success; caches that persist attempt counts (e.g. `hcperf-store`)
+    /// override it.
+    fn get_with_attempts(&mut self, key: &str) -> Option<(O, u32)> {
+        self.get(key).map(|output| (output, 1))
+    }
+
     /// Offers a freshly computed result for caching. Implementations
     /// decide what to persist — e.g. store successes as `done` cells and
     /// panics as `failed` cells (retried on the next run).
@@ -69,8 +78,10 @@ mod tests {
             key: "a".into(),
             seed: 1,
             wall: Duration::ZERO,
+            attempts: 1,
             status: JobStatus::Ok(7),
         });
         assert_eq!(dyn_cache.get("a"), Some(7));
+        assert_eq!(dyn_cache.get_with_attempts("a"), Some((7, 1)));
     }
 }

@@ -78,6 +78,10 @@ pub struct JobResult<O> {
     pub seed: u64,
     /// Wall-clock time the job function took on its worker.
     pub wall: Duration,
+    /// Attempts actually made: `1` for a first-try outcome, more when
+    /// the batch's retry policy re-ran a panicked job. A panicked status
+    /// with `attempts == max_retries + 1` means every attempt failed.
+    pub attempts: u32,
     /// Success payload or structured failure.
     pub status: JobStatus<O>,
 }

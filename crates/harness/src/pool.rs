@@ -126,6 +126,15 @@ pub struct BatchOptions<'a, O> {
     /// sink back-pressures the whole pool instead of buffering without
     /// limit. Does not affect results, only memory and pacing.
     pub queue_capacity: usize,
+    /// Extra attempts granted to a panicking job before its failure is
+    /// final. `0` (the default) reports the first panic as the job's
+    /// result — exactly the pre-retry behavior. With `n > 0`, attempt
+    /// `k > 0` reruns the job with the seed derived from
+    /// `"<key>#attempt=<k>"`, so retries are deterministic, distinct
+    /// from the first try, and independent of worker scheduling; the
+    /// first success (or the `n`-th retry's failure) is the result, with
+    /// [`JobResult::attempts`] recording how many attempts were made.
+    pub max_retries: u32,
     /// Per-completion progress callback.
     pub progress: Option<&'a mut dyn FnMut(Progress)>,
     /// Ordered streaming result sink.
@@ -146,6 +155,7 @@ impl<O> std::fmt::Debug for BatchOptions<'_, O> {
             .field("workers", &self.workers)
             .field("root_seed", &self.root_seed)
             .field("queue_capacity", &self.queue_capacity)
+            .field("max_retries", &self.max_retries)
             .field("progress", &self.progress.is_some())
             .field("sink", &self.sink.is_some())
             .field("cache", &self.cache.is_some())
@@ -159,6 +169,7 @@ impl<O> Default for BatchOptions<'_, O> {
             workers: 0,
             root_seed: 0x4843_5045_5246, // "HCPERF"
             queue_capacity: 0,
+            max_retries: 0,
             progress: None,
             sink: None,
             cache: None,
@@ -187,6 +198,14 @@ impl<'a, O> BatchOptions<'a, O> {
     #[must_use]
     pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Grants panicking jobs up to `max_retries` deterministic reruns
+    /// (see [`BatchOptions::max_retries`]).
+    #[must_use]
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
         self
     }
 
@@ -219,8 +238,12 @@ pub struct StreamSummary {
     pub total: usize,
     /// Jobs that returned normally.
     pub ok: usize,
-    /// Jobs that panicked (isolated into failure records).
+    /// Jobs that panicked on every permitted attempt (isolated into
+    /// failure records).
     pub panicked: usize,
+    /// Jobs that needed more than one attempt, whatever the final
+    /// outcome. Zero when [`BatchOptions::max_retries`] is `0`.
+    pub retried: usize,
     /// Jobs served from the attached [`ResultCache`] instead of being
     /// recomputed (a subset of `ok`). Zero when no cache is attached.
     pub cached: usize,
@@ -343,6 +366,18 @@ fn collect_ordered<O>(
     Ok(())
 }
 
+/// Seed for attempt `attempt` (0-based) of `job`: attempt 0 keeps the
+/// historical derivation (or the job's explicit pin), each retry folds
+/// the attempt index into the key so reruns are deterministic but
+/// distinct — a flaky-seed job is not doomed to replay the same crash.
+fn attempt_seed<I>(root_seed: u64, job: &Job<I>, attempt: u32) -> u64 {
+    if attempt == 0 {
+        job.seed.unwrap_or_else(|| derive_seed(root_seed, &job.key))
+    } else {
+        derive_seed(root_seed, &format!("{}#attempt={attempt}", job.key))
+    }
+}
+
 /// Work assignment for the pool: either every submission index, or the
 /// subset the cache could not serve. The all-indices case avoids
 /// materializing a `0..total` vector for plain (uncached) batches.
@@ -377,6 +412,7 @@ fn run_ordered<I, O, F>(
     workers: usize,
     root_seed: u64,
     queue_capacity: usize,
+    max_retries: u32,
     mut cache: Option<&mut dyn ResultCache<O>>,
     progress: Option<&mut dyn FnMut(Progress)>,
     run: F,
@@ -405,9 +441,12 @@ where
             let mut prehits: BTreeMap<usize, JobResult<O>> = BTreeMap::new();
             let mut misses = Vec::new();
             for (index, job) in jobs.iter().enumerate() {
-                match cache.get(&job.key) {
-                    Some(output) => {
-                        let seed = job.seed.unwrap_or_else(|| derive_seed(root_seed, &job.key));
+                match cache.get_with_attempts(&job.key) {
+                    Some((output, attempts)) => {
+                        // A hit replays the attempt count the original
+                        // run recorded, so its seed is the one the final
+                        // (successful) attempt actually used.
+                        let seed = attempt_seed(root_seed, job, attempts.saturating_sub(1));
                         prehits.insert(
                             index,
                             JobResult {
@@ -415,6 +454,7 @@ where
                                 key: job.key.clone(),
                                 seed,
                                 wall: Duration::ZERO,
+                                attempts: attempts.max(1),
                                 status: JobStatus::Ok(output),
                             },
                         );
@@ -453,17 +493,28 @@ where
                 let slot = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(index) = work.get(slot) else { break };
                 let Some(job) = jobs.get(index) else { break };
-                let seed = job.seed.unwrap_or_else(|| derive_seed(root_seed, &job.key));
                 let start = Instant::now();
-                let status = match catch_unwind(AssertUnwindSafe(|| run(&job.input, seed))) {
-                    Ok(output) => JobStatus::Ok(output),
-                    Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
+                // Retry loop: runs on the worker, so only the final
+                // outcome crosses the channel — collection's one-result-
+                // per-index bookkeeping never sees intermediate panics.
+                let mut attempt = 0u32;
+                let (seed, status) = loop {
+                    let seed = attempt_seed(root_seed, job, attempt);
+                    let status = match catch_unwind(AssertUnwindSafe(|| run(&job.input, seed))) {
+                        Ok(output) => JobStatus::Ok(output),
+                        Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
+                    };
+                    if status.is_ok() || attempt >= max_retries {
+                        break (seed, status);
+                    }
+                    attempt += 1;
                 };
                 let result = JobResult {
                     index,
                     key: job.key.clone(),
                     seed,
                     wall: start.elapsed(),
+                    attempts: attempt + 1,
                     status,
                 };
                 if tx.send(result).is_err() {
@@ -517,6 +568,7 @@ where
         opts.workers,
         opts.root_seed,
         opts.queue_capacity,
+        opts.max_retries,
         opts.cache.take(),
         opts.progress.take(),
         run,
@@ -560,6 +612,7 @@ where
         total: jobs.len(),
         ok: 0,
         panicked: 0,
+        retried: 0,
         cached: 0,
     };
     let mut sink = opts.sink.take();
@@ -568,6 +621,7 @@ where
         opts.workers,
         opts.root_seed,
         opts.queue_capacity,
+        opts.max_retries,
         opts.cache.take(),
         opts.progress.take(),
         run,
@@ -575,6 +629,9 @@ where
             match result.status {
                 JobStatus::Ok(_) => summary.ok += 1,
                 JobStatus::Panicked(_) => summary.panicked += 1,
+            }
+            if result.attempts > 1 {
+                summary.retried += 1;
             }
             if let Some(sink) = sink.as_deref_mut() {
                 sink.record(&result);
@@ -620,6 +677,7 @@ mod tests {
             key: format!("job/{index}"),
             seed: 1,
             wall: Duration::ZERO,
+            attempts: 1,
             status: JobStatus::Ok(index as u32),
         }
     }

@@ -55,7 +55,8 @@ pub fn json_escape(s: &str) -> String {
 /// Streams one JSON object per job to a writer (JSON Lines).
 ///
 /// Each line carries the job envelope (`index`, `key`, `seed`, `ok`,
-/// `wall_ms` and, for panicked jobs, `panic`) plus a `payload` field
+/// `wall_ms`, for retried jobs `attempts`, and, for panicked jobs,
+/// `panic`) plus a `payload` field
 /// produced by a caller-supplied serializer — the harness itself has no
 /// serde dependency, so the payload arrives as a ready-made JSON
 /// fragment.
@@ -152,6 +153,11 @@ impl<O, W: Write, F: Fn(&O) -> String> RecordSink<O> for JsonlSink<W, F> {
             json_escape(&result.key),
             result.seed
         );
+        // Emitted only for retried jobs: a first-try result serializes
+        // to exactly the bytes it did before retry policies existed.
+        if result.attempts > 1 {
+            line.push_str(&format!(",\"attempts\":{}", result.attempts));
+        }
         if self.timing {
             line.push_str(&format!(
                 ",\"wall_ms\":{:.3}",
@@ -195,6 +201,7 @@ mod tests {
             key: format!("job/{index}"),
             seed: 7,
             wall: Duration::from_millis(2),
+            attempts: 1,
             status,
         }
     }
@@ -216,6 +223,23 @@ mod tests {
             text,
             "{\"index\":0,\"key\":\"job/0\",\"seed\":7,\"ok\":true,\"payload\":42}\n\
              {\"index\":1,\"key\":\"job/1\",\"seed\":7,\"ok\":false,\"panic\":\"boom \\\"x\\\"\"}\n"
+        );
+    }
+
+    /// `attempts` appears only when a job was actually retried, keeping
+    /// first-try streams byte-identical to pre-retry output.
+    #[test]
+    fn attempts_field_is_emitted_only_when_retried() {
+        let mut sink = JsonlSink::new(Vec::new(), |o: &u32| o.to_string()).timing(false);
+        sink.record(&result(0, JobStatus::Ok(1)));
+        let mut retried = result(1, JobStatus::Ok(2));
+        retried.attempts = 3;
+        sink.record(&retried);
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(
+            text,
+            "{\"index\":0,\"key\":\"job/0\",\"seed\":7,\"ok\":true,\"payload\":1}\n\
+             {\"index\":1,\"key\":\"job/1\",\"seed\":7,\"attempts\":3,\"ok\":true,\"payload\":2}\n"
         );
     }
 }

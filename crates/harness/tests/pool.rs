@@ -225,6 +225,83 @@ fn zero_workers_means_available_parallelism() {
     assert_eq!(touched.load(Ordering::Relaxed), 4);
 }
 
+/// The retry-policy failure audit: a job that panics on *every*
+/// attempt must come back as a structured failure record carrying its
+/// attempt count — never a lost job or a deadlock — even with a tiny
+/// bounded result queue keeping workers parked on `send`.
+#[test]
+fn always_panicking_job_surfaces_failure_with_attempt_count() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let jobs = batch(12);
+    let mut seen = Vec::new();
+    let mut sink = |r: &hcperf_harness::JobResult<u64>| seen.push((r.index, r.attempts));
+    let summary = {
+        let opts = BatchOptions::with_workers(4)
+            .queue_capacity(2)
+            .max_retries(2)
+            .stream_to(&mut sink);
+        run_batch_streaming(&jobs, opts, |&input, seed| {
+            assert!(input != 7, "job seven always explodes");
+            fake_sim(&input, seed)
+        })
+        .unwrap()
+    };
+    std::panic::set_hook(prev);
+    assert_eq!((summary.total, summary.ok, summary.panicked), (12, 11, 1));
+    assert_eq!(summary.retried, 1, "only the doomed job consumed retries");
+    assert_eq!(seen.len(), 12, "no job may be lost to the retry loop");
+    for (index, attempts) in &seen {
+        let expected = if *index == 7 { 3 } else { 1 };
+        assert_eq!(*attempts, expected, "index {index}");
+    }
+}
+
+/// A job that panics only under its first-attempt seed succeeds on the
+/// deterministic retry: the result reports the retry seed and two
+/// attempts, identically at any worker count.
+#[test]
+fn flaky_seed_job_recovers_on_deterministic_retry() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let root = BatchOptions::<u64>::default().root_seed;
+    // Each job's input is its own first-attempt seed, so the job can
+    // deterministically crash on attempt 0 and succeed on attempt 1.
+    let jobs: Vec<Job<u64>> = (0..6)
+        .map(|i| {
+            let key = format!("cell/{i}");
+            let first = derive_seed(root, &key);
+            Job::new(key, first)
+        })
+        .collect();
+    let run = |&first: &u64, seed: u64| {
+        assert!(seed != first, "first attempt crashes");
+        seed
+    };
+    let reference = {
+        let opts = BatchOptions::with_workers(1).max_retries(1);
+        run_batch(&jobs, opts, run).unwrap()
+    };
+    for (i, r) in reference.iter().enumerate() {
+        assert_eq!(r.attempts, 2, "cell/{i} needed its retry");
+        let retry_seed = derive_seed(root, &format!("cell/{i}#attempt=1"));
+        assert_eq!(r.seed, retry_seed, "result carries the seed that ran");
+        assert_eq!(r.status, JobStatus::Ok(retry_seed));
+    }
+    for workers in [2, 8] {
+        let opts = BatchOptions::with_workers(workers).max_retries(1);
+        let got = run_batch(&jobs, opts, run).unwrap();
+        for (r, g) in reference.iter().zip(&got) {
+            assert_eq!(
+                (r.index, &r.key, r.seed, r.attempts, &r.status),
+                (g.index, &g.key, g.seed, g.attempts, &g.status),
+                "workers={workers}"
+            );
+        }
+    }
+    std::panic::set_hook(prev);
+}
+
 /// A transparent in-memory cache for exercising the pool's cache hook.
 struct MemCache {
     map: std::collections::BTreeMap<String, u64>,

@@ -11,13 +11,14 @@ use crate::rules::{scan_file, RuleSet};
 
 /// Crates whose simulation results must be bit-reproducible: every rule
 /// family applies to their `src/` trees.
-pub const DETERMINISTIC_CRATES: [&str; 6] = [
+pub const DETERMINISTIC_CRATES: [&str; 7] = [
     "crates/taskgraph/src",
     "crates/rtsim/src",
     "crates/control/src",
     "crates/vehicle/src",
     "crates/scenarios/src",
     "crates/core/src",
+    "crates/faults/src",
 ];
 
 /// Crates that orchestrate runs but must not read wall clocks themselves.

@@ -117,6 +117,7 @@ fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> Pat
         "crates/vehicle/src",
         "crates/scenarios/src",
         "crates/core/src",
+        "crates/faults/src",
         "crates/cli/src",
         "crates/lint/src",
         "crates/harness/src",

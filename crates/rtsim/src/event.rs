@@ -40,6 +40,15 @@ pub enum EventKind {
         /// The job whose output is ready.
         job: JobId,
     },
+    /// An injected fault window opens (`active`) or closes (`!active`).
+    /// Carries an index into the engine's injected fault list (see
+    /// `Sim::inject_fault`); fault-free runs never schedule this kind.
+    FaultTransition {
+        /// Index into the engine's fault list.
+        fault: usize,
+        /// `true` when the window opens, `false` when it closes.
+        active: bool,
+    },
 }
 
 /// A scheduled event.

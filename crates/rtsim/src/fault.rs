@@ -1,0 +1,140 @@
+//! Deterministic fault injection for the engine.
+//!
+//! A [`FaultWindow`] describes one timed fault — an execution-time spike,
+//! a job-drop window, a processor stall or a processor failure — applied
+//! to the engine via [`crate::Sim::inject_fault`] *before* (or during) a
+//! run. Windows are turned into ordinary events on the simulation's
+//! deterministic event queue, so two runs with the same configuration,
+//! seed and fault set are bit-identical regardless of when or in what
+//! order the windows were injected relative to each other.
+//!
+//! With no injected faults the engine takes no RNG draws and schedules no
+//! events it would not otherwise schedule, so a fault-capable engine is
+//! byte-identical to the pre-fault engine on fault-free runs.
+//!
+//! Fault-induced outcomes are double-booked on purpose: they feed the
+//! regular window/total miss counters (the TRA's `m(k)` feedback must see
+//! a dropped frame as a miss — reacting to it *is* the robustness loop)
+//! **and** the separate [`FaultCounters`], so reporting can always
+//! distinguish fault-induced from scheduling-induced misses.
+
+use hcperf_taskgraph::{SimSpan, SimTime, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// What happens to the job running on a processor that fails mid-job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillPolicy {
+    /// The job returns to the ready queue with its original deadline (the
+    /// runtime re-submits the work item; it may still expire unstarted).
+    Requeue,
+    /// The job is discarded; counts as a fault-induced miss.
+    Discard,
+}
+
+/// The effect a fault window applies while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEffect {
+    /// Sampled execution times of `task` are multiplied by `scale` and
+    /// extended by `extra` while the window is active (post-sampling, so
+    /// the engine's RNG stream is untouched).
+    ExecSpike {
+        /// Affected task.
+        task: TaskId,
+        /// Multiplier on the sampled execution time (finite, `>= 0`).
+        scale: f64,
+        /// Additive execution-time penalty (non-negative).
+        extra: SimSpan,
+    },
+    /// Released jobs of `task` are dropped before they reach the ready
+    /// queue while the window is active. Each drop counts as a release
+    /// plus a fault-induced miss.
+    JobDrop {
+        /// Affected task.
+        task: TaskId,
+    },
+    /// `processor` accepts no new work while the window is active; a job
+    /// already running on it completes normally.
+    ProcessorStall {
+        /// Stalled processor index.
+        processor: usize,
+    },
+    /// `processor` fails when the window opens: the job running on it is
+    /// killed per `policy` and the processor accepts no work until the
+    /// window closes (a window with `end <= start` never recovers).
+    ProcessorFail {
+        /// Failed processor index.
+        processor: usize,
+        /// Disposition of the killed mid-flight job.
+        policy: KillPolicy,
+    },
+}
+
+/// One timed fault applied to the engine.
+///
+/// The window is active on `[start, end)`; a window with `end <= start`
+/// stays active until the end of the run (a permanent failure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault takes effect (clamped to the current clock when
+    /// injected mid-run).
+    pub start: SimTime,
+    /// When the fault clears; `end <= start` means never.
+    pub end: SimTime,
+    /// What the fault does while active.
+    pub effect: FaultEffect,
+}
+
+/// Fault-induced event counters, kept beside (not inside) [`crate::SimStats`]
+/// so fault-induced and scheduling-induced misses stay distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Jobs dropped at release by an active [`FaultEffect::JobDrop`] window.
+    pub dropped_jobs: u64,
+    /// Jobs killed mid-run by a processor failure.
+    pub killed_jobs: u64,
+    /// Killed jobs returned to the ready queue ([`KillPolicy::Requeue`]).
+    pub requeued_jobs: u64,
+    /// Fault-induced deadline misses: dropped jobs, discarded kills, and
+    /// kills requeued past their deadline. Also counted in the regular
+    /// window/total miss counters so the TRA feedback loop reacts to them.
+    pub fault_misses: u64,
+}
+
+impl FaultCounters {
+    /// `true` when no fault ever landed (the fault-free fast path).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_default_to_empty() {
+        let mut c = FaultCounters::default();
+        assert!(c.is_empty());
+        c.dropped_jobs = 1;
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn windows_are_plain_values() {
+        let w = FaultWindow {
+            start: SimTime::from_secs(1.0),
+            end: SimTime::from_secs(2.0),
+            effect: FaultEffect::ProcessorFail {
+                processor: 0,
+                policy: KillPolicy::Requeue,
+            },
+        };
+        assert_eq!(w, w);
+        assert_ne!(
+            KillPolicy::Requeue,
+            KillPolicy::Discard,
+            "policies are distinct"
+        );
+    }
+}

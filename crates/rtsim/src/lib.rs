@@ -29,6 +29,7 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod gantt;
 pub mod job;
 pub mod scheduler;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod trace;
 pub mod trace_json;
 
+pub use fault::{FaultCounters, FaultEffect, FaultWindow, KillPolicy};
 pub use gantt::RenderError;
 pub use job::{ControlCommand, Job, JobId, JobOutcome};
 pub use scheduler::{FifoScheduler, SchedContext, Scheduler};

@@ -45,6 +45,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultCounters, FaultEffect, FaultWindow, KillPolicy};
 use crate::job::{ControlCommand, Job, JobId, JobOutcome};
 use crate::scheduler::{SchedContext, Scheduler};
 use crate::stats::SimStats;
@@ -118,6 +119,9 @@ pub enum SimError {
     NoProcessors,
     /// [`Sim::set_source_rate`] was called for a non-source task.
     NotASource(TaskId),
+    /// [`Sim::inject_fault`] was handed a window it cannot apply safely
+    /// (non-finite spike parameters, out-of-range task or processor).
+    InvalidFault(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -125,6 +129,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoProcessors => f.write_str("simulation needs at least one processor"),
             SimError::NotASource(id) => write!(f, "task {id} is not a source task"),
+            SimError::InvalidFault(why) => write!(f, "invalid fault window: {why}"),
         }
     }
 }
@@ -210,6 +215,18 @@ pub struct Sim<S> {
     stats: SimStats,
     trace: Trace,
     commands: Vec<ControlCommand>,
+    /// Injected fault windows, in injection order ([`Sim::inject_fault`]).
+    faults: Vec<FaultWindow>,
+    /// Whether each injected window is currently active.
+    fault_active: Vec<bool>,
+    /// Combined active execution-time spike per task (`scale`, `extra`);
+    /// `None` on the fault-free fast path.
+    fault_spike: Vec<Option<(f64, SimSpan)>>,
+    /// Whether releases of each task are currently dropped.
+    fault_drop: Vec<bool>,
+    /// Whether each processor currently accepts new work.
+    fault_available: Vec<bool>,
+    fault_counters: FaultCounters,
     rng: StdRng,
 }
 
@@ -281,6 +298,12 @@ impl<S: Scheduler> Sim<S> {
             next_job: 0,
             ready: Vec::new(),
             commands: Vec::new(),
+            faults: Vec::new(),
+            fault_active: Vec::new(),
+            fault_spike: vec![None; n],
+            fault_drop: vec![false; n],
+            fault_available: vec![true; config.processors],
+            fault_counters: FaultCounters::default(),
             graph,
             config,
             scheduler,
@@ -394,6 +417,77 @@ impl<S: Scheduler> Sim<S> {
         std::mem::take(&mut self.commands)
     }
 
+    /// Injects a timed fault window (see [`crate::fault`]).
+    ///
+    /// The window's open/close transitions are scheduled as ordinary
+    /// events on the deterministic queue, so the injected fault sequence
+    /// is part of the run's reproducible timeline. A window whose `end`
+    /// is at or before its `start` never closes (a permanent failure).
+    /// Windows may be injected before the run or mid-run; a start time in
+    /// the past is clamped to the current clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFault`] for non-finite or negative
+    /// spike parameters and for task/processor indices outside the graph
+    /// or processor count — validated here so the dispatch hot path can
+    /// apply fault effects without re-checking.
+    pub fn inject_fault(&mut self, window: FaultWindow) -> Result<(), SimError> {
+        match window.effect {
+            FaultEffect::ExecSpike { task, scale, extra } => {
+                if task.index() >= self.graph.len() {
+                    return Err(SimError::InvalidFault("spike task outside the graph"));
+                }
+                if !scale.is_finite() || scale < 0.0 {
+                    return Err(SimError::InvalidFault(
+                        "spike scale must be finite and >= 0",
+                    ));
+                }
+                if extra.is_negative() {
+                    return Err(SimError::InvalidFault("spike extra must be non-negative"));
+                }
+            }
+            FaultEffect::JobDrop { task } => {
+                if task.index() >= self.graph.len() {
+                    return Err(SimError::InvalidFault("drop task outside the graph"));
+                }
+            }
+            FaultEffect::ProcessorStall { processor }
+            | FaultEffect::ProcessorFail { processor, .. } => {
+                if processor >= self.config.processors {
+                    return Err(SimError::InvalidFault("processor index out of range"));
+                }
+            }
+        }
+        let index = self.faults.len();
+        self.faults.push(window);
+        self.fault_active.push(false);
+        let start = window.start.max(self.now);
+        self.events.push(
+            start,
+            EventKind::FaultTransition {
+                fault: index,
+                active: true,
+            },
+        );
+        if window.end > window.start {
+            self.events.push(
+                window.end.max(start),
+                EventKind::FaultTransition {
+                    fault: index,
+                    active: false,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Fault-induced event counters (all zero on fault-free runs).
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
+    }
+
     /// A point-in-time view of the engine for observability dashboards and
     /// debugging: clock, queue depth, per-processor occupancy and the
     /// current source rates.
@@ -425,6 +519,9 @@ impl<S: Scheduler> Sim<S> {
                 EventKind::JobCompleted { processor } => self.on_completion(processor),
                 EventKind::ExpiryCheck { job } => self.on_expiry_check(job),
                 EventKind::OutputReady { job } => self.on_output_ready(job),
+                EventKind::FaultTransition { fault, active } => {
+                    self.on_fault_transition(fault, active);
+                }
             }
             self.try_dispatch();
         }
@@ -432,6 +529,17 @@ impl<S: Scheduler> Sim<S> {
     }
 
     fn release_job(&mut self, task: TaskId, cycle: u64, chain_release: SimTime) {
+        if self.fault_drop.get(task.index()).copied().unwrap_or(false) {
+            // An active job-drop window: the frame never reaches the ready
+            // queue. It still counts as a release and a miss — the TRA's
+            // m(k) feedback must see the dropped frame — plus a separate
+            // fault-attributed count.
+            self.stats.on_release(task.index());
+            self.stats.on_outcome(task.index(), JobOutcome::Expired);
+            self.fault_counters.dropped_jobs += 1;
+            self.fault_counters.fault_misses += 1;
+            return;
+        }
         let spec = self.graph.spec(task);
         let job = Job::new(
             JobId::new(self.next_job),
@@ -531,11 +639,17 @@ impl<S: Scheduler> Sim<S> {
     }
 
     fn on_completion(&mut self, processor: usize) {
-        let Some(running) = self.running[processor].take() else {
-            debug_assert!(false, "completion event for an idle processor");
+        // A processor failure that killed a mid-flight job leaves that
+        // job's completion event queued; it arrives here with the slot
+        // empty (or refilled with a later dispatch whose finish time
+        // differs) and must be ignored, not asserted on.
+        let Some(running) = self.running.get(processor).copied().flatten() else {
             return;
         };
-        debug_assert_eq!(running.finish, self.now);
+        if running.finish != self.now {
+            return; // stale completion from a killed dispatch
+        }
+        self.running[processor] = None;
         let job = running.job;
         let task = job.task();
         // The run just finished: its CPU time becomes the task's observed
@@ -702,6 +816,12 @@ impl<S: Scheduler> Sim<S> {
                 if self.running[processor].is_some() || self.ready.is_empty() {
                     continue;
                 }
+                // A stalled or failed processor accepts no new work. The
+                // flag vector is maintained by fault transitions only, so
+                // fault-free runs pay one always-true branch here.
+                if !self.fault_available.get(processor).copied().unwrap_or(true) {
+                    continue;
+                }
                 // Affinity-partitioned ready index: nothing unpinned and
                 // nothing pinned here means no candidates — skip without
                 // scanning the queue.
@@ -765,10 +885,140 @@ impl<S: Scheduler> Sim<S> {
 
     fn sample_exec(&mut self, task: TaskId) -> SimSpan {
         let ctx = ExecContext::new(self.now, self.config.load.at(self.now));
-        self.graph
+        let exec = self
+            .graph
             .spec(task)
             .exec_model()
-            .sample(ctx, &mut self.rng)
+            .sample(ctx, &mut self.rng);
+        // Execution-time spikes post-process the sampled value so the
+        // RNG stream is identical with and without faults; parameters are
+        // validated finite/non-negative at injection.
+        match self.fault_spike.get(task.index()).copied().flatten() {
+            None => exec,
+            Some((scale, extra)) => exec * scale + extra,
+        }
+    }
+
+    /// Applies an injected fault window opening or closing. Effects are
+    /// *recomputed* from the set of currently-active windows (rather than
+    /// toggled) so overlapping windows on the same task or processor
+    /// compose correctly.
+    fn on_fault_transition(&mut self, fault: usize, active: bool) {
+        let Some(&window) = self.faults.get(fault) else {
+            return;
+        };
+        if let Some(flag) = self.fault_active.get_mut(fault) {
+            *flag = active;
+        }
+        match window.effect {
+            FaultEffect::ExecSpike { task, .. } => self.recompute_spike(task),
+            FaultEffect::JobDrop { task } => self.recompute_drop(task),
+            FaultEffect::ProcessorStall { processor } => self.recompute_availability(processor),
+            FaultEffect::ProcessorFail { processor, policy } => {
+                if active {
+                    self.kill_running(processor, policy);
+                }
+                self.recompute_availability(processor);
+            }
+        }
+    }
+
+    /// Folds every active spike window on `task` into one `(scale, extra)`
+    /// pair read by [`Sim::sample_exec`] — scales multiply, extras add.
+    fn recompute_spike(&mut self, task: TaskId) {
+        let mut scale = 1.0;
+        let mut extra = SimSpan::ZERO;
+        let mut any = false;
+        for (window, active) in self.faults.iter().zip(self.fault_active.iter()) {
+            if !active {
+                continue;
+            }
+            if let FaultEffect::ExecSpike {
+                task: t,
+                scale: s,
+                extra: e,
+            } = window.effect
+            {
+                if t == task {
+                    any = true;
+                    scale *= s;
+                    extra += e;
+                }
+            }
+        }
+        if let Some(slot) = self.fault_spike.get_mut(task.index()) {
+            *slot = any.then_some((scale, extra));
+        }
+    }
+
+    fn recompute_drop(&mut self, task: TaskId) {
+        let dropping = self
+            .faults
+            .iter()
+            .zip(self.fault_active.iter())
+            .any(|(w, &active)| {
+                active && matches!(w.effect, FaultEffect::JobDrop { task: t } if t == task)
+            });
+        if let Some(slot) = self.fault_drop.get_mut(task.index()) {
+            *slot = dropping;
+        }
+    }
+
+    fn recompute_availability(&mut self, processor: usize) {
+        let unavailable = self
+            .faults
+            .iter()
+            .zip(self.fault_active.iter())
+            .any(|(w, &active)| {
+                active
+                    && matches!(
+                        w.effect,
+                        FaultEffect::ProcessorStall { processor: p }
+                        | FaultEffect::ProcessorFail { processor: p, .. } if p == processor
+                    )
+            });
+        if let Some(slot) = self.fault_available.get_mut(processor) {
+            *slot = !unavailable;
+        }
+    }
+
+    /// Kills the job running on a failing processor per the window's
+    /// [`KillPolicy`]. Requeued jobs keep their original release and
+    /// deadline (and get a fresh expiry check, since the original one may
+    /// already have fired while the job was running); jobs requeued past
+    /// their deadline, and discarded jobs, count as fault-induced misses.
+    fn kill_running(&mut self, processor: usize, policy: KillPolicy) {
+        let Some(slot) = self.running.get_mut(processor) else {
+            return;
+        };
+        let Some(run) = slot.take() else {
+            return;
+        };
+        self.fault_counters.killed_jobs += 1;
+        let job = run.job;
+        match policy {
+            KillPolicy::Requeue if self.now < job.absolute_deadline() => {
+                self.fault_counters.requeued_jobs += 1;
+                if self.config.expire_queued_jobs {
+                    self.events.push(
+                        job.absolute_deadline(),
+                        EventKind::ExpiryCheck { job: job.id() },
+                    );
+                }
+                self.ready.push(job);
+                self.note_ready_added(job.task());
+            }
+            KillPolicy::Requeue | KillPolicy::Discard => {
+                self.stats
+                    .on_outcome(job.task().index(), JobOutcome::Expired);
+                self.fault_counters.fault_misses += 1;
+                self.trace.record(TraceEvent::Expired {
+                    time: self.now,
+                    job: job.id(),
+                    task: job.task(),
+                });
+            }
+        }
     }
 }
 

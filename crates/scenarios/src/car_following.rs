@@ -14,6 +14,7 @@
 //!    adapted source rates.
 
 use hcperf::{CoordinatorConfig, DpsConfig, HcPerf, PeriodInput, Scheme};
+use hcperf_faults::VehicleFaults;
 use hcperf_rtsim::{Sim, SimConfig};
 use hcperf_taskgraph::graphs::{apollo_graph, with_fusion_step, GraphOptions};
 use hcperf_taskgraph::{GraphError, LoadProfile, Rate, SimTime, TaskId};
@@ -87,6 +88,10 @@ pub struct CarFollowingConfig {
     /// Samples before this time are excluded from RMS aggregates
     /// (start-up transient).
     pub warmup: f64,
+    /// Injected faults for this vehicle (empty by default; an empty set
+    /// leaves the run byte-identical to a fault-free build). Materialize
+    /// one with `hcperf_faults::FaultPlan::materialize`.
+    pub faults: VehicleFaults,
 }
 
 impl CarFollowingConfig {
@@ -146,6 +151,7 @@ impl CarFollowingConfig {
             command_timeout: 0.3,
             record_series: true,
             warmup: 5.0,
+            faults: VehicleFaults::default(),
         }
     }
 
@@ -205,6 +211,7 @@ impl CarFollowingConfig {
             command_timeout: 0.3,
             record_series: true,
             warmup: 2.0,
+            faults: VehicleFaults::default(),
         }
     }
 }
@@ -256,6 +263,33 @@ pub struct CarFollowingResult {
     pub response_times: TimeSeries,
     /// Mean source rate over time (Hz) — the external coordinator's knob.
     pub mean_source_rate: TimeSeries,
+}
+
+/// How a faulted run degraded and how the stack responded (the per-tick
+/// records behind the § VII robustness claim).
+///
+/// Kept *outside* [`CarFollowingResult`] on purpose: the result's serde
+/// shape is the byte-stable cache/stream payload, and a fault-free run
+/// must serialize identically to one from a pre-fault build. Faulted
+/// callers use [`run_car_following_with_telemetry`] to receive it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DegradedTelemetry {
+    /// Physics steps where the PDC was fed last-known-good input because
+    /// the sensors were dropped out (bounded-staleness hold).
+    pub pdc_hold_ticks: u64,
+    /// Control periods where the TRA's degraded rate floor was engaged.
+    pub tra_floor_ticks: u64,
+    /// Control periods where the miss-ratio feedback was overridden by an
+    /// injected corruption window.
+    pub corrupted_feedback_ticks: u64,
+    /// Fault-induced counters from the engine (dropped / killed /
+    /// requeued jobs and fault-induced misses), kept separate from
+    /// scheduling-induced misses.
+    pub fault: hcperf_rtsim::fault::FaultCounters,
+    /// Per-control-period degraded mode: bit 0 = PDC stale hold active,
+    /// bit 1 = TRA rate floor engaged (recorded only with
+    /// [`CarFollowingConfig::record_series`]).
+    pub mode: TimeSeries,
 }
 
 /// Errors raised while setting up or running a scenario.
@@ -334,6 +368,21 @@ struct Sensed {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResult, ScenarioError> {
+    run_car_following_with_telemetry(config).map(|(result, _)| result)
+}
+
+/// [`run_car_following`] that also returns the degraded-mode telemetry
+/// of a faulted run (`None` when [`CarFollowingConfig::faults`] is
+/// empty — the fault-free path records nothing).
+///
+/// # Errors
+///
+/// Same contract as [`run_car_following`], plus
+/// [`ScenarioError::Sim`] if an injected fault window is invalid for
+/// this configuration (e.g. a processor index out of range).
+pub fn run_car_following_with_telemetry(
+    config: &CarFollowingConfig,
+) -> Result<(CarFollowingResult, Option<DegradedTelemetry>), ScenarioError> {
     let graph_opts = GraphOptions {
         jitter_frac: config.jitter_frac,
         with_affinity: config.scheme.uses_affinity(),
@@ -370,6 +419,9 @@ pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResu
         None
     };
     let mut sim = Sim::new(graph, sim_config, scheduler)?;
+    for window in &config.faults.sim {
+        sim.inject_fault(*window)?;
+    }
 
     // Initial source rates: fixed for baselines, fraction-of-range for
     // HCPerf (then adapted by the TRA).
@@ -429,6 +481,10 @@ pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResu
     let mut sq_dist = 0.0f64;
     let mut rms_count = 0u64;
     let mut final_window = (0u64, 0u64); // (missed, total) in the last 10 %
+    let mut pdc_hold_ticks = 0u64;
+    let mut tra_floor_ticks = 0u64;
+    let mut corrupted_feedback_ticks = 0u64;
+    let mut degraded_mode = TimeSeries::new("degraded_mode");
 
     let steps = (config.duration / config.physics_dt).round() as usize;
     let control_every = (config.control_period / config.physics_dt).round().max(1.0) as usize;
@@ -437,15 +493,37 @@ pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResu
     for step in 0..steps {
         let t = step as f64 * config.physics_dt;
 
-        // --- sensing: record what the pipeline sees at this instant ---
+        // --- injected whole-vehicle crash: a deterministic panic the
+        // harness isolates and (with retries) re-runs under a new seed ---
+        if config.faults.crash_at.is_some_and(|tc| t >= tc) {
+            panic!("injected vehicle crash at t={t:.3}s");
+        }
+
+        // --- sensing: record what the pipeline sees at this instant.
+        // Under an injected sensor dropout the PDC is fed last-known-good
+        // input (a bounded-staleness hold): the history row is re-stamped
+        // rather than re-measured, so every command computed from this
+        // window actuates on stale data. ---
         let lead_speed_true = config.lead.speed_at(t);
         let gap_true = lead_position - follower.position();
-        history.push(Sensed {
-            t,
-            lead_speed: lead_sensor.measure(lead_speed_true),
-            own_speed: own_sensor.measure(follower.speed()),
-            gap: gap_true,
-        });
+        let held = if config.faults.sensor_dropped_at(t) {
+            history.last().copied()
+        } else {
+            None
+        };
+        let pdc_hold = held.is_some();
+        let sensed_now = if let Some(held) = held {
+            pdc_hold_ticks += 1;
+            Sensed { t, ..held }
+        } else {
+            Sensed {
+                t,
+                lead_speed: lead_sensor.measure(lead_speed_true),
+                own_speed: own_sensor.measure(follower.speed()),
+                gap: gap_true,
+            }
+        };
+        history.push(sensed_now);
 
         // --- scheduler: advance the task pipeline to `t` ---
         sim.run_until(SimTime::from_secs(t));
@@ -507,11 +585,18 @@ pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResu
         // --- coordinators: once per control period ---
         if step % control_every == 0 {
             let window = sim.stats_mut().take_window();
-            let m_k = window.miss_ratio();
+            let mut m_k = window.miss_ratio();
             if t >= final_from {
                 final_window.0 += window.missed_late + window.expired;
                 final_window.1 += window.total();
             }
+            // Injected telemetry corruption: the TRA sees the forced miss
+            // ratio instead of the measured one for this period.
+            if let Some(forced) = config.faults.corrupted_feedback_at(t) {
+                m_k = forced;
+                corrupted_feedback_ticks += 1;
+            }
+            let mut tra_floor = false;
             if let Some(coord) = coordinator.as_mut() {
                 let rates = sim.source_rates();
                 let decision = coord.on_period(PeriodInput {
@@ -524,6 +609,14 @@ pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResu
                 for (task, rate) in decision.new_rates {
                     sim.set_source_rate(task, rate)?;
                 }
+                tra_floor = decision.tra_degraded;
+                if tra_floor {
+                    tra_floor_ticks += 1;
+                }
+            }
+            if config.record_series && !config.faults.is_empty() {
+                let mode = f64::from(u8::from(pdc_hold) | (u8::from(tra_floor) << 1));
+                degraded_mode.push(t, mode);
             }
             if config.record_series {
                 result.lead_speed.push(t, lead_speed_true);
@@ -570,7 +663,18 @@ pub fn run_car_following(config: &CarFollowingConfig) -> Result<CarFollowingResu
         .stats()
         .end_to_end_percentile(0.99)
         .map_or(0.0, |d| d.as_millis());
-    Ok(result)
+    let telemetry = if config.faults.is_empty() {
+        None
+    } else {
+        Some(DegradedTelemetry {
+            pdc_hold_ticks,
+            tra_floor_ticks,
+            corrupted_feedback_ticks,
+            fault: sim.fault_counters(),
+            mode: degraded_mode,
+        })
+    };
+    Ok((result, telemetry))
 }
 
 /// Most recent history row at or before `t` (first row if `t` precedes the
@@ -647,6 +751,84 @@ mod tests {
         for (_, v) in r.follow_speed.iter() {
             assert!(v <= 3.0);
         }
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_telemetry() {
+        let (r, telemetry) = run_car_following_with_telemetry(&short(Scheme::Edf)).unwrap();
+        assert!(telemetry.is_none());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("degraded"),
+            "fault-free serialization must match pre-fault builds"
+        );
+    }
+
+    #[test]
+    fn injected_faults_surface_degraded_telemetry() {
+        use hcperf_faults::{FaultKind, FaultPlan, FaultSpec};
+        use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+
+        let plan = FaultPlan {
+            name: "test-degrade".to_string(),
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKind::ExecSpike {
+                        task: "sensor_fusion".to_string(),
+                        scale: 4.0,
+                        extra_ms: 15.0,
+                    },
+                    probability: 1.0,
+                    window: (2.0, 2.0),
+                    duration: 4.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::SensorDropout,
+                    probability: 1.0,
+                    window: (2.0, 2.0),
+                    duration: 1.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::FeedbackCorrupt { miss_ratio: 0.9 },
+                    probability: 1.0,
+                    window: (6.0, 6.0),
+                    duration: 2.0,
+                },
+            ],
+        };
+        let graph = apollo_graph(&GraphOptions::default()).unwrap();
+        let mut c = short(Scheme::HcPerf);
+        // Arm the TRA's degraded floor so the forced 0.9 miss ratio
+        // trips it (and the tick accounting).
+        c.coordinator.rate.degraded_miss_threshold = 0.5;
+        c.coordinator.rate.rate_floor_frac = 0.25;
+        c.faults = plan.materialize(&graph, 0, c.seed).unwrap();
+        let (_, telemetry) = run_car_following_with_telemetry(&c).unwrap();
+        let degraded = telemetry.expect("faulted run reports telemetry");
+        // Dropout covers 1 s of 5 ms physics steps (~200 holds).
+        assert!(degraded.pdc_hold_ticks > 100, "{degraded:?}");
+        // Corruption covers 2 s of 0.1 s control periods (~20 ticks).
+        assert!(degraded.corrupted_feedback_ticks >= 15, "{degraded:?}");
+        assert!(degraded.tra_floor_ticks >= 15, "{degraded:?}");
+        assert!(!degraded.mode.is_empty());
+        // The mode series flags the TRA floor (bit 1) while corrupted.
+        assert!(degraded.mode.iter().any(|(_, m)| m >= 2.0), "{degraded:?}");
+    }
+
+    #[test]
+    fn injected_crash_panics_deterministically() {
+        let mut c = short(Scheme::Edf);
+        c.faults.crash_at = Some(1.0);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| run_car_following(&c));
+        std::panic::set_hook(prev);
+        let payload = caught.expect_err("crash fault panics");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected vehicle crash at t=1.000s"), "{msg}");
     }
 
     #[test]

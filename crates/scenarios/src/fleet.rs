@@ -27,11 +27,14 @@
 use std::io;
 
 use hcperf::Scheme;
+use hcperf_faults::FaultPlan;
 use hcperf_harness::{
     json_escape, run_batch_streaming, BatchOptions, Job, JobResult, JobStatus, RecordSink,
     ResultCache,
 };
 use hcperf_rtsim::percentile;
+use hcperf_taskgraph::graphs::{apollo_graph, GraphOptions};
+use hcperf_taskgraph::TaskGraph;
 
 use crate::car_following::{run_car_following, CarFollowingConfig, ScenarioError};
 use crate::lane_keeping::{run_lane_keeping, LaneKeepingConfig};
@@ -98,6 +101,16 @@ pub struct FleetConfig {
     /// Include per-vehicle wall times in the stream. Off by default:
     /// wall time is the one field that breaks bit-reproducibility.
     pub timing: bool,
+    /// Fault plan materialized per vehicle (empty by default). Each
+    /// vehicle draws its faults from its own derived seed, so the fault
+    /// sequence is byte-identical at any worker count — and a *retried*
+    /// vehicle, whose seed is attempt-derived, re-draws them.
+    pub faults: FaultPlan,
+    /// Panicked vehicles (injected crashes included) are re-run up to
+    /// this many extra times under attempt-derived seeds before being
+    /// quarantined as failures (`0` = no retries, the pre-supervision
+    /// behavior).
+    pub max_retries: u32,
 }
 
 impl FleetConfig {
@@ -116,7 +129,18 @@ impl FleetConfig {
             queue_capacity: 1024,
             aggregate_every: 100,
             timing: false,
+            faults: FaultPlan::empty(),
+            max_retries: 0,
         }
+    }
+
+    /// `true` when fault injection or crash retries are configured —
+    /// the supervised fields (`attempts`, `failed_vehicles`, `retried`)
+    /// then join the stream. Unsupervised runs keep the exact pre-fault
+    /// byte layout.
+    #[must_use]
+    pub fn supervised(&self) -> bool {
+        !self.faults.is_empty() || self.max_retries > 0
     }
 }
 
@@ -173,8 +197,12 @@ pub struct FleetSummary {
     pub ok: usize,
     /// Vehicles whose scenario failed to construct or run (non-panic).
     pub failed: usize,
-    /// Vehicles whose simulation panicked (isolated by the harness).
+    /// Vehicles whose simulation panicked on every permitted attempt
+    /// (isolated by the harness, quarantined from aggregates).
     pub panicked: usize,
+    /// Vehicles that needed more than one attempt (recovered crashes
+    /// plus quarantined ones); zero without [`FleetConfig::max_retries`].
+    pub retried: usize,
     /// Vehicles that collided.
     pub collisions: usize,
     /// Vehicles served from the result cache instead of simulated
@@ -187,7 +215,18 @@ pub struct FleetSummary {
 /// Runs one vehicle: preset → scenario config with the fleet's scheme,
 /// horizon and this vehicle's derived seed. Dense series recording stays
 /// off — a fleet retains aggregates, not trajectories.
-fn run_vehicle(config: &FleetConfig, seed: u64) -> Result<VehicleRecord, String> {
+///
+/// `fault_graph` is the pre-built task graph fault plans resolve task
+/// names against (built once per fleet, off the per-vehicle hot path);
+/// `Some` exactly when the fleet's plan is non-empty. Faults are
+/// materialized from this vehicle's *attempt* seed, so a retried crash
+/// re-draws its faults instead of deterministically crashing again.
+fn run_vehicle(
+    config: &FleetConfig,
+    fault_graph: Option<&TaskGraph>,
+    vehicle: usize,
+    seed: u64,
+) -> Result<VehicleRecord, String> {
     match config.preset {
         FleetPreset::CarFollowing | FleetPreset::CarFollowingHardware => {
             let mut c = match config.preset {
@@ -198,6 +237,12 @@ fn run_vehicle(config: &FleetConfig, seed: u64) -> Result<VehicleRecord, String>
             c.warmup = c.warmup.min(config.duration * 0.25);
             c.seed = seed;
             c.record_series = false;
+            if let Some(graph) = fault_graph {
+                c.faults = config
+                    .faults
+                    .materialize(graph, vehicle, seed)
+                    .map_err(|e| e.to_string())?;
+            }
             let r = run_car_following(&c).map_err(|e| e.to_string())?;
             Ok(VehicleRecord {
                 scheme: r.scheme,
@@ -234,6 +279,7 @@ fn run_vehicle(config: &FleetConfig, seed: u64) -> Result<VehicleRecord, String>
 struct FleetSink<'a> {
     out: &'a mut dyn io::Write,
     timing: bool,
+    supervised: bool,
     aggregate_every: usize,
     /// Per-vehicle mean e2e latencies, the aggregate percentile basis.
     e2e_means: Vec<f64>,
@@ -243,6 +289,7 @@ struct FleetSink<'a> {
     collisions: usize,
     ok: usize,
     failed: usize,
+    retried: usize,
     seen: usize,
     error: Option<io::Error>,
 }
@@ -252,6 +299,7 @@ impl<'a> FleetSink<'a> {
         FleetSink {
             out,
             timing: config.timing,
+            supervised: config.supervised(),
             aggregate_every: config.aggregate_every,
             e2e_means: Vec::with_capacity(config.vehicles.min(1 << 20)),
             worst_e2e_p99_ms: 0.0,
@@ -260,6 +308,7 @@ impl<'a> FleetSink<'a> {
             collisions: 0,
             ok: 0,
             failed: 0,
+            retried: 0,
             seen: 0,
             error: None,
         }
@@ -298,7 +347,20 @@ impl<'a> FleetSink<'a> {
 
     fn write_aggregate(&mut self) {
         match serde_json::to_string(&self.aggregate()) {
-            Ok(json) => {
+            Ok(mut json) => {
+                // Supervised runs make the quarantine partition explicit:
+                // `failed_vehicles` are excluded from every mean above,
+                // `retried` needed more than one attempt (recovered or
+                // quarantined). Spliced (not serde fields) so
+                // unsupervised streams keep the exact pre-supervision
+                // byte layout.
+                if self.supervised {
+                    json.truncate(json.len() - 1);
+                    json.push_str(&format!(
+                        ",\"failed_vehicles\":{},\"retried\":{}}}",
+                        self.failed, self.retried
+                    ));
+                }
                 let line = format!("{{\"type\":\"aggregate\",\"aggregate\":{json}}}");
                 self.write_line(&line);
             }
@@ -320,6 +382,10 @@ impl RecordSink<Result<VehicleRecord, String>> for FleetSink<'_> {
             json_escape(&result.key),
             result.seed
         );
+        if result.attempts > 1 {
+            self.retried += 1;
+            line.push_str(&format!(",\"attempts\":{}", result.attempts));
+        }
         if self.timing {
             line.push_str(&format!(
                 ",\"wall_ms\":{:.3}",
@@ -406,6 +472,24 @@ pub fn run_fleet_with_cache(
     out: &mut dyn io::Write,
     cache: Option<&mut dyn ResultCache<Result<VehicleRecord, String>>>,
 ) -> Result<FleetSummary, ScenarioError> {
+    // Fault plans are resolved against one shared graph built up front —
+    // task-name validation fails the run before any vehicle simulates,
+    // and the per-vehicle hot path only draws seeds.
+    let fault_graph: Option<TaskGraph> = if config.faults.is_empty() {
+        None
+    } else {
+        if config.preset == FleetPreset::LaneKeeping {
+            return Err(ScenarioError::Job(
+                "fault plans are not supported for the lane-keeping preset".to_string(),
+            ));
+        }
+        let graph = apollo_graph(&GraphOptions::default())?;
+        config
+            .faults
+            .materialize(&graph, 0, config.root_seed)
+            .map_err(|e| ScenarioError::Job(e.to_string()))?;
+        Some(graph)
+    };
     let jobs: Vec<Job<usize>> = (0..config.vehicles)
         .map(|i| Job::new(format!("fleet/{}/vehicle={i}", config.preset.name()), i))
         .collect();
@@ -414,11 +498,14 @@ pub fn run_fleet_with_cache(
         let mut opts = BatchOptions::with_workers(config.workers)
             .root_seed(config.root_seed)
             .queue_capacity(config.queue_capacity)
+            .max_retries(config.max_retries)
             .stream_to(&mut sink);
         if let Some(cache) = cache {
             opts = opts.cached(cache);
         }
-        run_batch_streaming(&jobs, opts, |_, seed| run_vehicle(config, seed))
+        run_batch_streaming(&jobs, opts, |&i, seed| {
+            run_vehicle(config, fault_graph.as_ref(), i, seed)
+        })
     };
     let summary = match run {
         Ok(summary) => summary,
@@ -460,6 +547,7 @@ pub fn run_fleet_with_cache(
         ok: sink.ok,
         failed: sink.failed - summary.panicked,
         panicked: summary.panicked,
+        retried: sink.retried,
         collisions: sink.collisions,
         cached: summary.cached,
         aggregate,
@@ -553,6 +641,74 @@ mod tests {
         let config = small(FleetPreset::CarFollowing, 2);
         let err = run_fleet(&config, &mut Failing).unwrap_err();
         assert!(matches!(err, ScenarioError::Sink(_)), "{err}");
+    }
+
+    #[test]
+    fn unsupervised_aggregates_keep_the_pre_supervision_layout() {
+        let config = small(FleetPreset::CarFollowing, 4);
+        assert!(!config.supervised());
+        let (text, summary) = stream(&config);
+        assert_eq!(summary.retried, 0);
+        assert!(!text.contains("failed_vehicles"), "{text}");
+        assert!(!text.contains("\"attempts\""), "{text}");
+    }
+
+    #[test]
+    fn chaos_fleet_is_supervised_and_bit_identical_for_any_worker_count() {
+        let mut config = small(FleetPreset::CarFollowing, 8);
+        config.faults = FaultPlan::chaos();
+        config.max_retries = 2;
+        assert!(config.supervised());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let reference = {
+            config.workers = 1;
+            stream(&config)
+        };
+        let mut others = Vec::new();
+        for workers in [2, 8] {
+            config.workers = workers;
+            others.push(stream(&config));
+        }
+        std::panic::set_hook(prev);
+        let (ref_text, ref_summary) = reference;
+        for (text, summary) in others {
+            assert_eq!(text, ref_text);
+            assert_eq!(summary, ref_summary);
+        }
+        // The chaos preset's vehicle crashes (p = 0.25 in the first
+        // 0.4 s) force at least one retry across 8 vehicles; every
+        // vehicle line is present and accounted for.
+        assert_eq!(
+            ref_summary.ok + ref_summary.failed + ref_summary.panicked,
+            8
+        );
+        assert!(ref_summary.retried >= 1, "{ref_summary:?}");
+        let vehicle_lines = ref_text
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"vehicle\""))
+            .count();
+        assert_eq!(vehicle_lines, 8);
+        assert!(ref_text.contains("\"attempts\":"), "{ref_text}");
+        // Supervised aggregates expose the quarantine partition.
+        let last_aggregate = ref_text
+            .lines()
+            .rfind(|l| l.starts_with("{\"type\":\"aggregate\""))
+            .expect("final aggregate");
+        assert!(
+            last_aggregate.contains("\"failed_vehicles\":"),
+            "{last_aggregate}"
+        );
+        assert!(last_aggregate.contains("\"retried\":"), "{last_aggregate}");
+    }
+
+    #[test]
+    fn lane_keeping_rejects_fault_plans() {
+        let mut config = small(FleetPreset::LaneKeeping, 2);
+        config.faults = FaultPlan::chaos();
+        let mut buf = Vec::new();
+        let err = run_fleet(&config, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("lane-keeping"), "{err}");
     }
 
     #[test]

@@ -41,15 +41,20 @@ pub mod lane_keeping;
 pub mod metrics;
 pub mod motivation;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod sweep;
 pub mod traffic_jam;
 
-pub use car_following::{run_car_following, CarFollowingConfig, CarFollowingResult, ScenarioError};
+pub use car_following::{
+    run_car_following, run_car_following_with_telemetry, CarFollowingConfig, CarFollowingResult,
+    DegradedTelemetry, ScenarioError,
+};
 pub use fleet::{run_fleet, FleetAggregate, FleetConfig, FleetPreset, FleetSummary, VehicleRecord};
 pub use lane_keeping::{run_lane_keeping, LaneKeepingConfig, LaneKeepingResult};
 pub use metrics::TimeSeries;
 pub use motivation::{run_motivation, MotivationConfig, MotivationResult};
+pub use robustness::{traction_loss_comparison, RecoveryRow, TractionLossConfig};
 pub use runner::{
     compare_car_following, compare_car_following_parallel, compare_car_following_seeded,
     compare_car_following_seeded_parallel, compare_lane_keeping, compare_lane_keeping_parallel,

@@ -119,6 +119,10 @@ where
     D: Fn(&str) -> Option<O>,
 {
     fn get(&mut self, key: &str) -> Option<O> {
+        self.get_with_attempts(key).map(|(output, _)| output)
+    }
+
+    fn get_with_attempts(&mut self, key: &str) -> Option<(O, u32)> {
         if self.error.is_some() {
             return None; // degraded: pass everything through
         }
@@ -131,10 +135,14 @@ where
                 self.misses += 1;
                 return None;
             }
-            if let CellState::Done { payload, .. } = &cell.state {
+            if let CellState::Done {
+                payload, attempts, ..
+            } = &cell.state
+            {
+                let attempts = *attempts;
                 if let Some(output) = (self.decode)(payload) {
                     self.hits += 1;
-                    return Some(output);
+                    return Some((output, attempts));
                 }
                 // Undecodable payload: fall through and recompute.
             }
@@ -157,16 +165,26 @@ where
             JobStatus::Ok(output) => match (self.encode)(output) {
                 Some(payload) => {
                     let wall_ms = result.wall.as_secs_f64() * 1e3;
-                    let res = self.store.complete(&id, wall_ms, &payload);
+                    let res =
+                        self.store
+                            .complete_with_attempts(&id, wall_ms, &payload, result.attempts);
                     self.park(res);
                 }
                 None => {
-                    let res = self.store.fail(&id, "payload not encodable");
+                    let res = self.store.fail_with_attempts(
+                        &id,
+                        "payload not encodable",
+                        result.attempts,
+                    );
                     self.park(res);
                 }
             },
             JobStatus::Panicked(msg) => {
-                let res = self.store.fail(&id, &format!("panicked: {msg}"));
+                let res = self.store.fail_with_attempts(
+                    &id,
+                    &format!("panicked: {msg}"),
+                    result.attempts,
+                );
                 self.park(res);
             }
         }
@@ -195,6 +213,7 @@ mod tests {
             key: key.to_owned(),
             seed: 7,
             wall: Duration::from_millis(3),
+            attempts: 1,
             status,
         }
     }
@@ -249,6 +268,27 @@ mod tests {
         }
         let mut c = cache(&mut store, &fp2);
         assert_eq!(c.get("cell/0"), None, "new code version invalidates");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A retried job's attempt count survives persist → reopen → probe,
+    /// so a resumed run reproduces the original retry accounting.
+    #[test]
+    fn attempt_counts_round_trip_through_the_cache() {
+        let path = tmp("attempts");
+        let fp = fingerprint(&["unit", "v1"]);
+        {
+            let mut store = Store::open(&path).unwrap();
+            let mut c = cache(&mut store, &fp);
+            assert_eq!(c.get_with_attempts("cell/0"), None);
+            let mut r = result(0, "cell/0", JobStatus::Ok(10));
+            r.attempts = 3;
+            c.put(&r);
+            c.finish().unwrap();
+        }
+        let mut store = Store::open(&path).unwrap();
+        let mut c = cache(&mut store, &fp);
+        assert_eq!(c.get_with_attempts("cell/0"), Some((10, 3)));
         let _ = std::fs::remove_file(&path);
     }
 

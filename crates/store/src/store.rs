@@ -12,6 +12,11 @@
 //! {"op":"run","fingerprint":"<16hex>","hits":980,"misses":20}
 //! ```
 //!
+//! `done` and `failed` ops may additionally carry `"attempts":N` when
+//! the producing job needed more than one attempt (the harness retry
+//! policy); its absence means one attempt, so pre-retry logs replay
+//! unchanged and first-try runs append the exact bytes they always did.
+//!
 //! The payload of a `done` op is the *exact* JSON fragment the producer
 //! serialized, embedded as an escaped JSON string — so replaying a cell
 //! re-emits the producer's bytes, never a re-rendering of them.
@@ -88,12 +93,17 @@ pub enum CellState {
         wall_ms: f64,
         /// The producer's serialized JSON payload, byte-exact.
         payload: String,
+        /// Attempts the producing job took (1 = first try), replayed
+        /// into resumed results so retry accounting survives a restart.
+        attempts: u32,
     },
     /// The job panicked or its payload could not be encoded; retried
     /// (re-registered as pending) on the next run.
     Failed {
         /// The failure message.
         error: String,
+        /// Attempts the job made before its failure became final.
+        attempts: u32,
     },
 }
 
@@ -335,11 +345,13 @@ impl Store {
                 else {
                     return false;
                 };
+                let attempts = v["attempts"].as_u64().unwrap_or(1) as u32;
                 match cells.get_mut(cell) {
                     Some(c) => {
                         c.state = CellState::Done {
                             wall_ms,
                             payload: payload.to_owned(),
+                            attempts,
                         };
                         true
                     }
@@ -350,11 +362,13 @@ impl Store {
                 let Some(error) = v["error"].as_str() else {
                     return false;
                 };
+                let attempts = v["attempts"].as_u64().unwrap_or(1) as u32;
                 match cells.get_mut(cell) {
                     Some(c) => {
                         if !matches!(c.state, CellState::Done { .. }) {
                             c.state = CellState::Failed {
                                 error: error.to_owned(),
+                                attempts,
                             };
                         }
                         true
@@ -461,19 +475,43 @@ impl Store {
     ///
     /// Fails on unregistered cells and on append I/O failures.
     pub fn complete(&mut self, id: &str, wall_ms: f64, payload: &str) -> Result<(), StoreError> {
+        self.complete_with_attempts(id, wall_ms, payload, 1)
+    }
+
+    /// [`Store::complete`] recording how many attempts the producing job
+    /// took; `attempts > 1` is persisted so a resumed run replays the
+    /// retry accounting byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unregistered cells and on append I/O failures.
+    pub fn complete_with_attempts(
+        &mut self,
+        id: &str,
+        wall_ms: f64,
+        payload: &str,
+        attempts: u32,
+    ) -> Result<(), StoreError> {
         if !self.cells.contains_key(id) {
             return Err(StoreError::Lifecycle(format!(
                 "cell {id} completed but was never registered"
             )));
         }
+        let attempts = attempts.max(1);
+        let extra = if attempts > 1 {
+            format!(",\"attempts\":{attempts}")
+        } else {
+            String::new()
+        };
         self.append(&format!(
-            "{{\"op\":\"done\",\"cell\":\"{id}\",\"wall_ms\":{wall_ms},\"payload\":\"{}\"}}",
+            "{{\"op\":\"done\",\"cell\":\"{id}\",\"wall_ms\":{wall_ms},\"payload\":\"{}\"{extra}}}",
             json_escape(payload)
         ))?;
         if let Some(cell) = self.cells.get_mut(id) {
             cell.state = CellState::Done {
                 wall_ms,
                 payload: payload.to_owned(),
+                attempts,
             };
         }
         Ok(())
@@ -486,18 +524,40 @@ impl Store {
     ///
     /// Fails on unregistered cells and on append I/O failures.
     pub fn fail(&mut self, id: &str, error: &str) -> Result<(), StoreError> {
+        self.fail_with_attempts(id, error, 1)
+    }
+
+    /// [`Store::fail`] recording how many attempts the job made before
+    /// its failure became final.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unregistered cells and on append I/O failures.
+    pub fn fail_with_attempts(
+        &mut self,
+        id: &str,
+        error: &str,
+        attempts: u32,
+    ) -> Result<(), StoreError> {
         if !self.cells.contains_key(id) {
             return Err(StoreError::Lifecycle(format!(
                 "cell {id} failed but was never registered"
             )));
         }
+        let attempts = attempts.max(1);
+        let extra = if attempts > 1 {
+            format!(",\"attempts\":{attempts}")
+        } else {
+            String::new()
+        };
         self.append(&format!(
-            "{{\"op\":\"failed\",\"cell\":\"{id}\",\"error\":\"{}\"}}",
+            "{{\"op\":\"failed\",\"cell\":\"{id}\",\"error\":\"{}\"{extra}}}",
             json_escape(error)
         ))?;
         if let Some(cell) = self.cells.get_mut(id) {
             cell.state = CellState::Failed {
                 error: error.to_owned(),
+                attempts,
             };
         }
         Ok(())
@@ -555,6 +615,26 @@ impl Store {
             }
         }
         status
+    }
+
+    /// Every `failed` cell as `(key, attempts, error)`, sorted by key.
+    ///
+    /// This is the quarantine listing behind `hcperf store --failed`:
+    /// the cells a `--resume` will re-register exactly once each.
+    #[must_use]
+    pub fn failed_cells(&self) -> Vec<(String, u32, String)> {
+        let mut failed: Vec<(String, u32, String)> = self
+            .cells
+            .values()
+            .filter_map(|c| match &c.state {
+                CellState::Failed { error, attempts } => {
+                    Some((c.key.clone(), *attempts, error.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        failed.sort();
+        failed
     }
 
     /// The `top` slowest `done` cells plus every stuck or failed shard.
@@ -655,7 +735,8 @@ mod tests {
             cell.state,
             CellState::Done {
                 wall_ms: 1.5,
-                payload: "{\"x\":1}".into()
+                payload: "{\"x\":1}".into(),
+                attempts: 1,
             }
         );
         assert!(matches!(
@@ -709,6 +790,51 @@ mod tests {
             CellState::Done { payload: p, .. } => assert_eq!(p, payload),
             other => panic!("expected done, got {other:?}"),
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Attempt counts survive the log round trip, first-try ops keep
+    /// their historical bytes, and the failed listing reports
+    /// `(key, attempts, error)` sorted by key.
+    #[test]
+    fn attempts_round_trip_and_failed_listing() {
+        let path = tmp("attempts");
+        let fp = fingerprint(&["unit", "v1"]);
+        let a = cell_id(&fp, "cell/a");
+        let b = cell_id(&fp, "cell/b");
+        let c = cell_id(&fp, "cell/c");
+        {
+            let mut store = Store::open(&path).unwrap();
+            store.register(&a, "cell/a").unwrap();
+            store.register(&b, "cell/b").unwrap();
+            store.register(&c, "cell/c").unwrap();
+            store.complete_with_attempts(&a, 1.0, "1", 3).unwrap();
+            store.fail_with_attempts(&b, "panicked: boom", 4).unwrap();
+            store.fail(&c, "panicked: pow").unwrap();
+            store.sync().unwrap();
+        }
+        let log = std::fs::read_to_string(&path).unwrap();
+        assert!(log.contains("\"payload\":\"1\",\"attempts\":3"));
+        assert!(
+            log.contains("\"error\":\"panicked: pow\"}"),
+            "first-try failure keeps the pre-retry byte layout"
+        );
+        let store = Store::open(&path).unwrap();
+        assert_eq!(
+            store.lookup(&a).unwrap().state,
+            CellState::Done {
+                wall_ms: 1.0,
+                payload: "1".into(),
+                attempts: 3,
+            }
+        );
+        assert_eq!(
+            store.failed_cells(),
+            vec![
+                ("cell/b".into(), 4, "panicked: boom".into()),
+                ("cell/c".into(), 1, "panicked: pow".into()),
+            ]
+        );
         let _ = std::fs::remove_file(&path);
     }
 

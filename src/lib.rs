@@ -13,7 +13,9 @@
 //! * [`harness`] — the deterministic parallel experiment-execution
 //!   engine the evaluation surfaces fan out through;
 //! * [`store`] — the durable, content-addressed result store that
-//!   makes interrupted experiment runs resumable.
+//!   makes interrupted experiment runs resumable;
+//! * [`faults`] — declarative, deterministic fault plans for the
+//!   supervised (chaos) fleet tier.
 //!
 //! # Examples
 //!
@@ -25,6 +27,7 @@
 
 pub use hcperf as core;
 pub use hcperf_control as control;
+pub use hcperf_faults as faults;
 pub use hcperf_harness as harness;
 pub use hcperf_rtsim as rtsim;
 pub use hcperf_scenarios as scenarios;

@@ -224,6 +224,111 @@ fn resumed_fleet_is_bit_identical_and_recomputes_no_done_cells() {
     }
 }
 
+/// The supervised-fleet contract at scale: a 256-vehicle chaos fleet —
+/// per-vehicle faults drawn from the root seed, crashed vehicles
+/// retried with attempt-derived seeds and quarantined when retries run
+/// out — streams **byte-identical** JSONL for 1, 2 and 8 workers, and a
+/// run killed at ~50% of its output resumes through the store into the
+/// exact straight-through bytes, retry outcomes and quarantine
+/// aggregates included.
+#[test]
+fn faulted_fleet_is_bit_identical_across_workers_and_kill_resume() {
+    use hcperf_suite::faults::FaultPlan;
+
+    // The chaos plan injects deliberate vehicle crashes; silence the
+    // default panic hook so the expected unwinds don't spam the log.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut config = FleetConfig::new(FleetPreset::CarFollowing, 256);
+    config.duration = 0.5;
+    config.aggregate_every = 64;
+    config.queue_capacity = 32;
+    config.faults = FaultPlan::chaos();
+    config.max_retries = 2;
+
+    // Straight-through reference (1 worker, no store).
+    let mut reference = Vec::new();
+    let ref_summary = run_fleet(&config, &mut reference).unwrap();
+    assert!(
+        ref_summary.retried > 0,
+        "chaos over 256 vehicles should crash and retry some"
+    );
+    let reference = String::from_utf8(reference).unwrap();
+    assert!(
+        reference.contains("\"attempts\":"),
+        "retries must be visible"
+    );
+    assert!(
+        reference.contains("\"failed_vehicles\":"),
+        "supervised aggregates must carry the quarantine count"
+    );
+
+    for workers in WORKER_MATRIX {
+        config.workers = workers;
+        let mut buf = Vec::new();
+        let summary = run_fleet(&config, &mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            reference,
+            "workers={workers}: faulted stream differs"
+        );
+        assert_eq!(summary.retried, ref_summary.retried, "workers={workers}");
+        assert_eq!(summary.failed, ref_summary.failed, "workers={workers}");
+
+        // Kill at ~50% of the byte stream, then resume through the store.
+        let path = std::env::temp_dir().join(format!(
+            "hcperf_matrix_chaos_{}_{workers}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut store = Store::open(&path).unwrap();
+        let mut cache = CellCache::new(
+            &mut store,
+            fingerprint(&["matrix-chaos-fleet"]),
+            encode_vehicle,
+            decode_vehicle,
+        );
+        let mut dying = TruncatingWriter {
+            written: 0,
+            budget: reference.len() / 2,
+        };
+        let err = run_fleet_with_cache(&config, &mut dying, Some(&mut cache)).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Sink(_)),
+            "workers={workers}: {err:?}"
+        );
+        cache.finish().unwrap();
+        drop(store);
+
+        let mut store = Store::open(&path).unwrap();
+        let done_before = store.status().done;
+        assert!(
+            done_before > 0 && done_before < 256,
+            "workers={workers}: expected a partial store, got {done_before} done"
+        );
+        let mut cache = CellCache::new(
+            &mut store,
+            fingerprint(&["matrix-chaos-fleet"]),
+            encode_vehicle,
+            decode_vehicle,
+        );
+        let mut resumed = Vec::new();
+        let summary = run_fleet_with_cache(&config, &mut resumed, Some(&mut cache)).unwrap();
+        cache.finish().unwrap();
+        assert_eq!(summary.cached, done_before, "workers={workers}");
+        assert_eq!(summary.retried, ref_summary.retried, "workers={workers}");
+        assert_eq!(
+            String::from_utf8(resumed).unwrap(),
+            reference,
+            "workers={workers}: resumed chaos stream differs from straight-through"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    std::panic::set_hook(prev);
+}
+
 #[test]
 fn lane_keeping_comparison_is_bit_identical_across_worker_counts() {
     let mut base = LaneKeepingConfig::paper_loop(Scheme::Hpf);

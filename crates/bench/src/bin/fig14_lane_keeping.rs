@@ -1,4 +1,5 @@
 //! Regenerates Fig. 14 and Table IV — lane keeping.
+// hcperf-lint: det-sink(fig14-stdout): figure data on stdout feeds checked-in expectations
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut store = hcperf_bench::store_from_cli()?;
     print!(

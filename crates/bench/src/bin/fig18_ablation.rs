@@ -1,4 +1,5 @@
 //! Regenerates Fig. 18 — the external-coordinator ablation.
+// hcperf-lint: det-sink(fig18-stdout): figure data on stdout feeds checked-in expectations
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut store = hcperf_bench::store_from_cli()?;
     print!(

@@ -67,7 +67,7 @@ pub struct ToySchedule {
 fn run_order(jobs: &[ToyJob]) -> ToySchedule {
     let mut t = 0.0;
     let mut execution = Vec::new();
-    let mut last_finish = std::collections::HashMap::new();
+    let mut last_finish = std::collections::BTreeMap::new();
     let mut all_met = true;
     for &job in jobs {
         t += 1.0; // unit execution time, single processor

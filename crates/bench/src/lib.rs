@@ -41,6 +41,7 @@ pub fn jobs_from_cli() -> usize {
             }
         }
     }
+    // hcperf-lint: allow(det-flow): worker count changes wall time only; results are bit-identical for any value
     std::env::var("HCPERF_JOBS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -67,6 +68,7 @@ pub fn store_from_cli() -> Result<Option<hcperf_store::Store>, hcperf_store::Sto
             }
         }
     }
+    // hcperf-lint: allow(det-flow): store location selects where bytes land, never what they are
     let path = path.or_else(|| std::env::var("HCPERF_STORE").ok());
     match path {
         Some(p) => hcperf_store::Store::open(p).map(Some),

@@ -4,7 +4,7 @@
 //! `--key value` pair; unknown keys and malformed values are errors with
 //! helpful messages.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use hcperf::Scheme;
@@ -13,7 +13,7 @@ use hcperf::Scheme;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     command: String,
-    options: HashMap<String, String>,
+    options: BTreeMap<String, String>,
 }
 
 /// Parse failure with a user-facing message.
@@ -44,7 +44,7 @@ impl Args {
         let command = iter
             .next()
             .ok_or_else(|| ParseError("missing command; try `hcperf help`".into()))?;
-        let mut options = HashMap::new();
+        let mut options = BTreeMap::new();
         while let Some(key) = iter.next() {
             let Some(stripped) = key.strip_prefix("--") else {
                 return Err(ParseError(format!(

@@ -2,6 +2,7 @@
 
 use std::process::ExitCode;
 
+// hcperf-lint: det-sink(cli-stdout): command output is diffed byte-for-byte in e2e tests
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match hcperf_cli::Args::parse(argv) {

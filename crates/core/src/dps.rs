@@ -215,10 +215,17 @@ impl GammaScratch {
     fn feasible(&self, now: f64, base: f64, n_p: f64) -> bool {
         let mut higher_work = 0.0;
         for &i in &self.order {
-            let c = self.exec[i];
-            if !self.skip[i] {
+            // `order` is rebuilt alongside the parallel vectors, so the
+            // lookups cannot miss; checked access keeps the hot path
+            // panic-free regardless.
+            let (Some(&c), Some(&skip), Some(&deadline)) =
+                (self.exec.get(i), self.skip.get(i), self.deadline.get(i))
+            else {
+                continue;
+            };
+            if !skip {
                 let finish = now + base + higher_work / n_p + c;
-                if finish > self.deadline[i] {
+                if finish > deadline {
                     return false;
                 }
             }
@@ -233,11 +240,13 @@ impl GammaScratch {
     fn mark_doomed(&mut self, now: f64, base: f64, n_p: f64) {
         let mut higher_work = 0.0;
         for &i in &self.order {
-            let c = self.exec[i];
+            let (Some(&c), Some(&deadline), Some(skip)) =
+                (self.exec.get(i), self.deadline.get(i), self.skip.get_mut(i))
+            else {
+                continue;
+            };
             let finish = now + base + higher_work / n_p + c;
-            if finish > self.deadline[i] {
-                self.skip[i] = true;
-            }
+            *skip = *skip || finish > deadline;
             higher_work += c;
         }
     }
@@ -498,17 +507,16 @@ pub mod reference {
     fn feasible(ctx: &SchedContext<'_>, gamma: f64, skip: &[bool]) -> bool {
         let n_p = ctx.processor_count() as f64;
         let base = ctx.total_remaining().as_secs() / n_p;
-        let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
-        order.sort_by(|&a, &b| {
+        let mut order: Vec<(usize, _)> = ctx.queue.iter().enumerate().collect();
+        order.sort_by(|&(a, ja), &(b, jb)| {
             priority_key(ctx, a, gamma)
                 .total_cmp(&priority_key(ctx, b, gamma))
-                .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+                .then_with(|| ja.id().cmp(&jb.id()))
         });
         let mut higher_work = 0.0;
-        for &i in &order {
-            let job = &ctx.queue[i];
+        for &(i, job) in &order {
             let c = ctx.exec_of(job).as_secs();
-            if !skip[i] {
+            if !skip.get(i).copied().unwrap_or(true) {
                 let start_delay = base + higher_work / n_p;
                 let finish = ctx.now.as_secs() + start_delay + c;
                 if finish > job.absolute_deadline().as_secs() {
@@ -607,20 +615,19 @@ pub mod reference {
     fn doomed_at_zero(ctx: &SchedContext<'_>) -> Vec<bool> {
         let n_p = ctx.processor_count() as f64;
         let base = ctx.total_remaining().as_secs() / n_p;
-        let mut order: Vec<usize> = (0..ctx.queue.len()).collect();
-        order.sort_by(|&a, &b| {
+        let mut order: Vec<(usize, _)> = ctx.queue.iter().enumerate().collect();
+        order.sort_by(|&(a, ja), &(b, jb)| {
             priority_key(ctx, a, 0.0)
                 .total_cmp(&priority_key(ctx, b, 0.0))
-                .then_with(|| ctx.queue[a].id().cmp(&ctx.queue[b].id()))
+                .then_with(|| ja.id().cmp(&jb.id()))
         });
         let mut doomed = vec![false; ctx.queue.len()];
         let mut higher_work = 0.0;
-        for &i in &order {
-            let job = &ctx.queue[i];
+        for &(i, job) in &order {
             let c = ctx.exec_of(job).as_secs();
             let finish = ctx.now.as_secs() + base + higher_work / n_p + c;
-            if finish > job.absolute_deadline().as_secs() {
-                doomed[i] = true;
+            if let Some(slot) = doomed.get_mut(i) {
+                *slot = finish > job.absolute_deadline().as_secs();
             }
             higher_work += c;
         }

@@ -291,6 +291,7 @@ impl<T> ResultSender<T> {
 /// append-only cache log is itself deterministic. Returns a structured
 /// error — never panics — when the channel closes early, an index
 /// arrives twice, or `on_ready` asks to stop.
+// hcperf-lint: det-sanitizer(index-tagged-merge): reorder window re-serializes by submission index
 fn collect_ordered<O>(
     rx: &mpsc::Receiver<JobResult<O>>,
     total: usize,
@@ -425,6 +426,7 @@ where
 {
     let total = jobs.len();
     {
+        // hcperf-lint: allow(det-flow): membership-only duplicate check; iteration order never observed
         let mut seen = std::collections::HashSet::with_capacity(total);
         for job in jobs {
             if !seen.insert(job.key.as_str()) {
@@ -493,6 +495,7 @@ where
                 let slot = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(index) = work.get(slot) else { break };
                 let Some(job) = jobs.get(index) else { break };
+                // hcperf-lint: allow(det-flow): wall time feeds only the documented-nondeterministic wall_ms field
                 let start = Instant::now();
                 // Retry loop: runs on the worker, so only the final
                 // outcome crosses the channel — collection's one-result-
@@ -513,6 +516,7 @@ where
                     index,
                     key: job.key.clone(),
                     seed,
+                    // hcperf-lint: allow(det-flow): wall_ms is the one documented-nondeterministic output field
                     wall: start.elapsed(),
                     attempts: attempt + 1,
                     status,

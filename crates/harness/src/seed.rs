@@ -39,6 +39,7 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 /// Two SplitMix64 steps decorrelate root seeds and keys that differ in
 /// only a few bits (sequential root seeds, keys sharing a long prefix).
 #[must_use]
+// hcperf-lint: det-sink(seed-derivation): job seeds must be a pure function of (root, key)
 pub fn derive_seed(root: u64, key: &str) -> u64 {
     let mut state = root ^ fnv1a64(key.as_bytes());
     let _ = splitmix64(&mut state);

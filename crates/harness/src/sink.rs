@@ -143,6 +143,7 @@ impl<W: Write, F> Drop for JsonlSink<W, F> {
 }
 
 impl<O, W: Write, F: Fn(&O) -> String> RecordSink<O> for JsonlSink<W, F> {
+    // hcperf-lint: det-sink(harness-jsonl): every JSONL byte written here must be taint-free
     fn record(&mut self, result: &JobResult<O>) {
         if self.error.is_some() {
             return;

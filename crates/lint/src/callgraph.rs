@@ -35,6 +35,11 @@ pub struct FnNode {
     pub body: Option<(usize, usize)>,
     /// True when declared via `// hcperf-lint: hot-path-root`.
     pub is_root: bool,
+    /// Sink name when declared via `// hcperf-lint: det-sink(<name>)`
+    /// (only set when the graph is built from [`crate::parse::parse_file_marked`]).
+    pub sink: Option<String>,
+    /// True when declared via `// hcperf-lint: det-sanitizer(<name>)`.
+    pub sanitizer: bool,
 }
 
 impl FnNode {
@@ -91,6 +96,8 @@ impl CallGraph {
                     line: item.line,
                     body: item.body,
                     is_root: item.is_root,
+                    sink: item.sink.clone(),
+                    sanitizer: item.sanitizer,
                 });
                 site_lists.push(sites);
                 loops.push(fn_loops.clone());

@@ -252,6 +252,7 @@ fn eq_finding(eq: u32, site: Option<&EqSite>, message: String) -> Finding {
         snippet: String::new(),
         message,
         waived: None,
+        chain: Vec::new(),
     }
 }
 

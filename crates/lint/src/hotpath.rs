@@ -404,6 +404,7 @@ fn site_finding(site: &Site, rel: &str, src: &SourceFile, waived: Option<String>
             site.rule.name(),
         ),
         waived,
+        chain: Vec::new(),
     }
 }
 

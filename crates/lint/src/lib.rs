@@ -49,6 +49,18 @@
 //!    unless waived. `--schedulability` cross-checks that every audit
 //!    target's Eq. 9 budget is backed by certificate-covered kernels.
 //!
+//! 6. **Det-flow certificates** (`--det-flow`) — an interprocedural
+//!    determinism-taint dataflow ([`detflow`]) over the same call graph:
+//!    nondeterminism sources (unordered iteration, wall-clock values,
+//!    channel arrival order, thread identity, env reads, address-seeded
+//!    hashing) are flowed to fixpoint through per-function summaries to
+//!    declared `// hcperf-lint: det-sink(<name>)` output sinks, with
+//!    sanitizers (`BTree*` rebuilds, `sort*`, `det-sanitizer` fns)
+//!    killing taint. Per-sink exposure is certified in
+//!    `crates/lint/detflow_certificates.txt` and ratcheted
+//!    ([`report::Rule::DetFlow`]); findings carry the full
+//!    source→…→sink chain with exact lines.
+//!
 //! Exit codes are distinct per failure class — see [`report::exit`].
 //! The file scan and parse fan out over a std-only scoped-thread pool
 //! ([`par`]) with index-ordered reassembly, so all output stays
@@ -64,6 +76,7 @@
 //! ```
 
 pub mod callgraph;
+pub mod detflow;
 pub mod eqcov;
 pub mod hotpath;
 pub mod par;

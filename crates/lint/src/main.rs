@@ -1,23 +1,25 @@
 //! The `hcperf-lint` binary: source rules by default, `--schedulability`
 //! for the Eq. 9 / Eq. 11 audit (with WCET kernel cross-check),
 //! `--hot-path` for call-graph purity, `--eq-coverage` for the
-//! paper-equation gate, and `--wcet` for loop-bound certificates. See the
-//! library docs.
+//! paper-equation gate, `--wcet` for loop-bound certificates, and
+//! `--det-flow` for interprocedural determinism-taint certificates. See
+//! the library docs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hcperf_lint::report::{exit, finding_json, render_annotations, Finding};
-use hcperf_lint::{eqcov, hotpath, ratchet, sched, wcet, workspace};
+use hcperf_lint::{detflow, eqcov, hotpath, ratchet, sched, wcet, workspace};
 
 const USAGE: &str = "\
 hcperf-lint — determinism & schedulability gate for the HCPerf workspace
 
 USAGE:
     hcperf-lint [--json] [--annotations] [--root <path>] [--update-baseline]
-    hcperf-lint --hot-path [--eq-coverage] [--wcet] [--json] [--update-baseline]
-    hcperf-lint --wcet [--hot-path] [--eq-coverage] [--json] [--update-baseline]
-    hcperf-lint --eq-coverage [--hot-path] [--wcet] [--json]
+    hcperf-lint --hot-path [--eq-coverage] [--wcet] [--det-flow] [--json] [--update-baseline]
+    hcperf-lint --wcet [--hot-path] [--eq-coverage] [--det-flow] [--json] [--update-baseline]
+    hcperf-lint --det-flow [--hot-path] [--eq-coverage] [--wcet] [--json] [--update-baseline]
+    hcperf-lint --eq-coverage [--hot-path] [--wcet] [--det-flow] [--json]
     hcperf-lint --schedulability [--json]
     hcperf-lint --update-baselines
 
@@ -36,6 +38,13 @@ MODES:
                        symbolic O(n^d log^l n) costs over the call graph,
                        flag blocking constructs, and ratchet per-root
                        certificates against crates/lint/wcet_certificates.txt
+    --det-flow         flow nondeterminism sources (HashMap/HashSet
+                       iteration, wall-clock values, channel recv order,
+                       thread identity, env reads, address-seeded hashing)
+                       over the call graph to `det-sink(<name>)`-marked
+                       output fns, with BTree/sort/`det-sanitizer` kills;
+                       ratchet per-sink exposure against
+                       crates/lint/detflow_certificates.txt
     --schedulability   audit every registered task graph and scenario
                        preset: Eq. 9 deadlines, Eq. 11 feasible γ range,
                        and WCET certificate coverage of the γ kernels
@@ -47,8 +56,9 @@ OPTIONS:
     --root <path>      workspace root (default: inferred from cargo)
     --update-baseline  rewrite the active mode's ratchet artifacts
                        (unwrap_baseline.txt; hotpath_baseline.txt with
-                       --hot-path; wcet_certificates.txt with --wcet)
-    --update-baselines regenerate all three ratchet artifacts in one run
+                       --hot-path; wcet_certificates.txt with --wcet;
+                       detflow_certificates.txt with --det-flow)
+    --update-baselines regenerate all four ratchet artifacts in one run
 
 EXIT CODES:
     0 clean   1 findings   2 ratchet growth   3 infeasible target   4 usage
@@ -61,6 +71,7 @@ struct Args {
     hot_path: bool,
     eq_coverage: bool,
     wcet: bool,
+    det_flow: bool,
     update_baseline: bool,
     update_baselines: bool,
     root: Option<PathBuf>,
@@ -74,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         hot_path: false,
         eq_coverage: false,
         wcet: false,
+        det_flow: false,
         update_baseline: false,
         update_baselines: false,
         root: None,
@@ -87,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
             "--hot-path" => args.hot_path = true,
             "--eq-coverage" => args.eq_coverage = true,
             "--wcet" => args.wcet = true,
+            "--det-flow" => args.det_flow = true,
             "--update-baseline" => args.update_baseline = true,
             "--update-baselines" => args.update_baselines = true,
             "--root" => {
@@ -103,16 +116,17 @@ fn parse_args() -> Result<Args, String> {
             || args.hot_path
             || args.eq_coverage
             || args.wcet
+            || args.det_flow
             || args.annotations)
     {
         return Err("--schedulability cannot combine with other modes".to_owned());
     }
     if args.update_baselines
-        && (args.update_baseline || args.hot_path || args.eq_coverage || args.wcet)
+        && (args.update_baseline || args.hot_path || args.eq_coverage || args.wcet || args.det_flow)
     {
         return Err("--update-baselines runs alone; it already covers every artifact".to_owned());
     }
-    if args.update_baseline && args.eq_coverage && !args.hot_path && !args.wcet {
+    if args.update_baseline && args.eq_coverage && !args.hot_path && !args.wcet && !args.det_flow {
         return Err("--eq-coverage has no baseline to update".to_owned());
     }
     Ok(args)
@@ -174,7 +188,7 @@ fn main() -> ExitCode {
         return run_update_baselines(&root);
     }
 
-    if args.hot_path || args.eq_coverage || args.wcet {
+    if args.hot_path || args.eq_coverage || args.wcet || args.det_flow {
         return run_analysis(&args, &root);
     }
 
@@ -217,10 +231,11 @@ fn main() -> ExitCode {
 }
 
 /// `--update-baselines`: regenerates every ratchet artifact — the unwrap
-/// baseline, the hot-path baseline, and the WCET certificates — in one
-/// run, so a deliberate cost/count change is a single reviewable diff.
-/// Structural findings (source rules, unbounded loops, blocking calls)
-/// still gate the run: baselines absorb *counts*, not new violations.
+/// baseline, the hot-path baseline, the WCET certificates, and the
+/// det-flow certificates — in one run, so a deliberate cost/count change
+/// is a single reviewable diff. Structural findings (source rules,
+/// unbounded loops, blocking calls, sink-declaration problems) still gate
+/// the run: baselines absorb *counts*, not new violations.
 fn run_update_baselines(root: &std::path::Path) -> ExitCode {
     let src = match workspace::run_source_lint(root, false) {
         Ok(r) => r,
@@ -243,6 +258,13 @@ fn run_update_baselines(root: &std::path::Path) -> ExitCode {
             return code(exit::USAGE);
         }
     };
+    let det = match detflow::run_detflow(root, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hcperf-lint: {e}");
+            return code(exit::USAGE);
+        }
+    };
     for (path, text) in [
         (
             root.join(workspace::BASELINE_PATH),
@@ -253,6 +275,10 @@ fn run_update_baselines(root: &std::path::Path) -> ExitCode {
             hotpath::render_baseline(&hot.counts),
         ),
         (root.join(wcet::CERT_PATH), wcet::render_certs(&w.certs)),
+        (
+            root.join(detflow::CERT_PATH),
+            detflow::render_certs(&det.sinks),
+        ),
     ] {
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
@@ -261,14 +287,17 @@ fn run_update_baselines(root: &std::path::Path) -> ExitCode {
     }
     println!(
         "hcperf-lint: baselines rewritten — {} unwrap/expect sites, {} hot-path sites, \
-         {} WCET certificates ({} reachable fns)",
+         {} WCET certificates ({} reachable fns), {} det-flow sinks ({} clean)",
         src.unwrap_counts.values().sum::<usize>(),
         hot.counts.values().sum::<usize>(),
         w.certs.len(),
         w.reachable_fns,
+        det.sinks.len(),
+        det.sinks.iter().filter(|s| s.taints == 0).count(),
     );
     let mut findings: Vec<&Finding> = src.findings.iter().collect();
     findings.extend(w.findings.iter());
+    findings.extend(det.findings.iter());
     for f in &findings {
         println!("{}", f.render());
     }
@@ -316,6 +345,17 @@ fn run_analysis(args: &Args, root: &std::path::Path) -> ExitCode {
     } else {
         None
     };
+    let det = if args.det_flow {
+        match detflow::run_detflow(root, !args.update_baseline) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("hcperf-lint: {e}");
+                return code(exit::USAGE);
+            }
+        }
+    } else {
+        None
+    };
 
     if args.update_baseline {
         if let Some(report) = hot.as_ref() {
@@ -346,18 +386,48 @@ fn run_analysis(args: &Args, root: &std::path::Path) -> ExitCode {
                 report.reachable_fns,
             );
         }
+        if let Some(report) = det.as_ref() {
+            let path = root.join(detflow::CERT_PATH);
+            if let Err(e) = std::fs::write(&path, detflow::render_certs(&report.sinks)) {
+                eprintln!("hcperf-lint: cannot write {}: {e}", path.display());
+                return code(exit::USAGE);
+            }
+            println!(
+                "hcperf-lint: det-flow certificates rewritten ({} sinks, {} clean, {} fns analyzed)",
+                report.sinks.len(),
+                report.sinks.iter().filter(|s| s.taints == 0).count(),
+                report.fns_analyzed,
+            );
+        }
     }
 
-    let exit_code = combined_exit(hot.as_ref(), eq.as_ref(), wcet_report.as_ref());
+    let exit_code = combined_exit(
+        hot.as_ref(),
+        eq.as_ref(),
+        wcet_report.as_ref(),
+        det.as_ref(),
+    );
     if args.json {
         println!(
             "{}",
-            render_analysis_json(hot.as_ref(), eq.as_ref(), wcet_report.as_ref(), exit_code)
+            render_analysis_json(
+                hot.as_ref(),
+                eq.as_ref(),
+                wcet_report.as_ref(),
+                det.as_ref(),
+                exit_code
+            )
         );
     } else {
         print!(
             "{}",
-            render_analysis_human(hot.as_ref(), eq.as_ref(), wcet_report.as_ref(), exit_code)
+            render_analysis_human(
+                hot.as_ref(),
+                eq.as_ref(),
+                wcet_report.as_ref(),
+                det.as_ref(),
+                exit_code
+            )
         );
     }
     if args.annotations {
@@ -371,6 +441,9 @@ fn run_analysis(args: &Args, root: &std::path::Path) -> ExitCode {
         if let Some(w) = wcet_report.as_ref() {
             all.extend(w.findings.iter().cloned());
         }
+        if let Some(d) = det.as_ref() {
+            all.extend(d.findings.iter().cloned());
+        }
         print!("{}", render_annotations(&all));
     }
     code(exit_code)
@@ -380,11 +453,13 @@ fn combined_exit(
     hot: Option<&hotpath::HotPathReport>,
     eq: Option<&eqcov::EqCovReport>,
     w: Option<&wcet::WcetReport>,
+    det: Option<&detflow::DetFlowReport>,
 ) -> i32 {
     let codes = [
         hot.map_or(exit::CLEAN, hotpath::HotPathReport::exit_code),
         eq.map_or(exit::CLEAN, eqcov::EqCovReport::exit_code),
         w.map_or(exit::CLEAN, wcet::WcetReport::exit_code),
+        det.map_or(exit::CLEAN, detflow::DetFlowReport::exit_code),
     ];
     if codes.contains(&exit::FINDINGS) {
         exit::FINDINGS
@@ -399,6 +474,7 @@ fn render_analysis_human(
     hot: Option<&hotpath::HotPathReport>,
     eq: Option<&eqcov::EqCovReport>,
     w: Option<&wcet::WcetReport>,
+    det: Option<&detflow::DetFlowReport>,
     exit_code: i32,
 ) -> String {
     let mut out = String::new();
@@ -479,6 +555,43 @@ fn render_analysis_human(
             w.waived.len(),
         ));
     }
+    if let Some(d) = det {
+        for f in &d.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        for s in &d.sinks {
+            let status = if s.taints == 0 {
+                "clean".to_owned()
+            } else {
+                format!("tainted:{}", s.taints)
+            };
+            out.push_str(&format!(
+                "sink {:<24} {status:<12} {} @ {}:{}\n",
+                s.name, s.fn_name, s.path, s.line
+            ));
+        }
+        if let Some(r) = &d.ratchet {
+            for s in &r.shrink {
+                out.push_str(&format!(
+                    "note: det-sink `{}` shrank to {} (was {}); refresh with --det-flow --update-baseline\n",
+                    s.name,
+                    s.current.map_or_else(|| "removed".to_owned(), |c| c.to_string()),
+                    s.baseline.map_or_else(|| "absent".to_owned(), |c| c.to_string()),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "hcperf-lint --det-flow: {} sinks ({} clean), {} flows, {} fns, {} files, {} findings, {} waived\n",
+            d.sinks.len(),
+            d.sinks.iter().filter(|s| s.taints == 0).count(),
+            d.flows.len(),
+            d.fns_analyzed,
+            d.files_scanned,
+            d.findings.len(),
+            d.waived.len(),
+        ));
+    }
     out.push_str(match exit_code {
         exit::CLEAN => "hcperf-lint: analysis clean\n",
         exit::RATCHET => "hcperf-lint: RATCHET GROWTH\n",
@@ -491,6 +604,7 @@ fn render_analysis_json(
     hot: Option<&hotpath::HotPathReport>,
     eq: Option<&eqcov::EqCovReport>,
     w: Option<&wcet::WcetReport>,
+    det: Option<&detflow::DetFlowReport>,
     exit_code: i32,
 ) -> String {
     use hcperf_lint::report::json_escape;
@@ -504,6 +618,9 @@ fn render_analysis_json(
     }
     if w.is_some() {
         parts.push("wcet");
+    }
+    if det.is_some() {
+        parts.push("det-flow");
     }
     let mode = parts.join("+");
     let mut findings: Vec<String> = Vec::new();
@@ -635,8 +752,69 @@ fn render_analysis_json(
         },
     );
 
+    let det_json = det.map_or_else(
+        || "null".to_owned(),
+        |d| {
+            findings.extend(d.findings.iter().map(finding_json));
+            waived.extend(d.waived.iter().map(finding_json));
+            let sinks: Vec<String> = d
+                .sinks
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"sink\":\"{}\",\"fn\":\"{}\",\"path\":\"{}\",\"line\":{},\"taints\":{},\"status\":\"{}\"}}",
+                        json_escape(&s.name),
+                        json_escape(&s.fn_name),
+                        json_escape(&s.path),
+                        s.line,
+                        s.taints,
+                        if s.taints == 0 {
+                            "clean".to_owned()
+                        } else {
+                            format!("tainted:{}", s.taints)
+                        },
+                    )
+                })
+                .collect();
+            let ratchet = d.ratchet.as_ref().map_or_else(
+                || "null".to_owned(),
+                |r| {
+                    let row = |delta: &detflow::DetDelta| {
+                        format!(
+                            "{{\"sink\":\"{}\",\"path\":\"{}\",\"baseline\":{},\"current\":{}}}",
+                            json_escape(&delta.name),
+                            json_escape(&delta.path),
+                            delta
+                                .baseline
+                                .map_or_else(|| "null".to_owned(), |c| c.to_string()),
+                            delta
+                                .current
+                                .map_or_else(|| "null".to_owned(), |c| c.to_string()),
+                        )
+                    };
+                    let growth: Vec<String> = r.growth.iter().map(row).collect();
+                    let shrink: Vec<String> = r.shrink.iter().map(row).collect();
+                    format!(
+                        "{{\"growth\":[{}],\"shrink\":[{}]}}",
+                        growth.join(","),
+                        shrink.join(",")
+                    )
+                },
+            );
+            format!(
+                "{{\"sinks\":[{}],\"flows\":{},\"fns_analyzed\":{},\"files_scanned\":{},\"ratchet\":{}}}",
+                sinks.join(","),
+                d.flows.len(),
+                d.fns_analyzed,
+                d.files_scanned,
+                ratchet
+            )
+        },
+    );
+
     format!(
-        "{{\"mode\":\"{mode}\",\"hot_path\":{hot_json},\"eq_coverage\":{eq_json},\"wcet\":{wcet_json},\"findings\":[{}],\"waived\":[{}],\"exit_code\":{exit_code}}}",
+        "{{\"schema_version\":{},\"mode\":\"{mode}\",\"hot_path\":{hot_json},\"eq_coverage\":{eq_json},\"wcet\":{wcet_json},\"det_flow\":{det_json},\"findings\":[{}],\"waived\":[{}],\"exit_code\":{exit_code}}}",
+        hcperf_lint::report::SCHEMA_VERSION,
         findings.join(","),
         waived.join(","),
     )

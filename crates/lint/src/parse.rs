@@ -34,6 +34,12 @@ pub struct FnItem {
     pub body: Option<(usize, usize)>,
     /// True when a `// hcperf-lint: hot-path-root` marker precedes the item.
     pub is_root: bool,
+    /// Sink name when a `// hcperf-lint: det-sink(<name>)` marker precedes
+    /// the item (populated by [`parse_file_marked`] only).
+    pub sink: Option<String>,
+    /// True when a `// hcperf-lint: det-sanitizer(<name>)` marker precedes
+    /// the item (populated by [`parse_file_marked`] only).
+    pub sanitizer: bool,
 }
 
 /// How a call site names its target.
@@ -636,6 +642,32 @@ fn scan_loops(
 /// (attributes may sit between, doc comments should go above the marker).
 #[must_use]
 pub fn parse_file(path: &str, masked: &str, root_lines: &[usize]) -> ParsedFile {
+    parse_file_inner(path, masked, root_lines, &[], &[])
+}
+
+/// Like [`parse_file`], but also attaches `det-sink(<name>)` /
+/// `det-sanitizer(<name>)` markers from the full [`crate::source::MaskedFile`]
+/// to their `fn` items, using the same next-`fn`-within-3-lines rule as
+/// hot-path-root markers.
+#[must_use]
+pub fn parse_file_marked(path: &str, m: &crate::source::MaskedFile) -> ParsedFile {
+    parse_file_inner(
+        path,
+        &m.masked,
+        &m.hot_path_roots,
+        &m.det_sinks,
+        &m.det_sanitizers,
+    )
+}
+
+fn parse_file_inner(
+    path: &str,
+    masked: &str,
+    root_lines: &[usize],
+    sink_markers: &[(usize, String)],
+    sanitizer_markers: &[(usize, String)],
+) -> ParsedFile {
+    let attaches = |m: usize, line: usize| m < line && line <= m + 3;
     let toks = lex(masked);
     let lines = LineIndex::new(masked);
     let mut fns = Vec::new();
@@ -658,9 +690,14 @@ pub fn parse_file(path: &str, masked: &str, root_lines: &[usize]) -> ParsedFile 
                 if word == "fn" {
                     let (item, body_range, next) = parse_fn(&toks, i, masked, &lines, &scopes);
                     if let Some(mut item) = item {
-                        item.is_root = root_lines
+                        item.is_root = root_lines.iter().any(|&m| attaches(m, item.line));
+                        item.sink = sink_markers
                             .iter()
-                            .any(|&m| m < item.line && item.line <= m + 3);
+                            .find(|(m, _)| attaches(*m, item.line))
+                            .map(|(_, name)| name.clone());
+                        item.sanitizer = sanitizer_markers
+                            .iter()
+                            .any(|(m, _)| attaches(*m, item.line));
                         let sites = body_range
                             .map(|(from, to)| scan_calls(&toks, from, to, masked, &lines))
                             .unwrap_or_default();
@@ -755,6 +792,8 @@ fn parse_fn(
                 line,
                 body: Some((toks[open].start, toks[close].end)),
                 is_root: false,
+                sink: None,
+                sanitizer: false,
             };
             (Some(item), Some((open + 1, close)), close + 1)
         }
@@ -767,6 +806,8 @@ fn parse_fn(
                 line,
                 body: None,
                 is_root: false,
+                sink: None,
+                sanitizer: false,
             };
             (Some(item), None, k + 1)
         }

@@ -2,6 +2,11 @@
 
 use std::fmt;
 
+/// Version stamp carried by every `--json` report shape. Bump when a
+/// consumer-visible key is added, removed, or retyped. Version 2 added
+/// the `det_flow` section and structured `chain` arrays on findings.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Process exit codes, one per failure class so CI logs are unambiguous.
 pub mod exit {
     /// No findings, ratchet within baseline, every audit target feasible.
@@ -56,11 +61,21 @@ pub enum Rule {
     /// log factor, or a new/unbounded root). Not waivable: regenerate the
     /// certificate file deliberately via `--update-baselines`.
     WcetCert,
+    /// A nondeterminism source (unordered iteration, wall-clock value,
+    /// channel arrival order, …) flows — possibly through several calls —
+    /// into a declared `det-sink` whose certificate in
+    /// `crates/lint/detflow_certificates.txt` says it is clean. Waivable at
+    /// the *source* site with a reason; the finding anchors at the sink
+    /// and carries the full call chain.
+    DetFlow,
+    /// A malformed `det-sink(…)` / `det-sanitizer(…)` declaration: the
+    /// marker does not attach to a `fn` item, or two sinks share a name.
+    DetSink,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 14] = [
         Rule::WallClock,
         Rule::UnorderedIteration,
         Rule::Entropy,
@@ -73,6 +88,8 @@ impl Rule {
         Rule::WcetUnbounded,
         Rule::HotPathBlocking,
         Rule::WcetCert,
+        Rule::DetFlow,
+        Rule::DetSink,
     ];
 
     /// The kebab-case name used in diagnostics and waiver comments.
@@ -91,6 +108,8 @@ impl Rule {
             Rule::WcetUnbounded => "wcet-unbounded",
             Rule::HotPathBlocking => "hot-path-blocking",
             Rule::WcetCert => "wcet-cert",
+            Rule::DetFlow => "det-flow",
+            Rule::DetSink => "det-sink",
         }
     }
 
@@ -105,6 +124,18 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// One hop of an interprocedural det-flow chain: where taint entered,
+/// passed through a call, or reached the sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Workspace-relative path of the hop.
+    pub path: String,
+    /// 1-based line number of the hop.
+    pub line: usize,
+    /// What happened at this hop (source pattern, call, sink).
+    pub what: String,
 }
 
 /// One diagnostic: a rule fired at a source line.
@@ -123,6 +154,9 @@ pub struct Finding {
     /// Waiver reason when the site carries a matching
     /// `// hcperf-lint: allow(<rule>): <reason>` comment.
     pub waived: Option<String>,
+    /// For det-flow findings: the source→…→sink call chain, one hop per
+    /// entry with exact file/line. Empty for every other rule.
+    pub chain: Vec<Hop>,
 }
 
 impl Finding {
@@ -135,6 +169,9 @@ impl Finding {
         );
         if let Some(reason) = &self.waived {
             s.push_str(&format!("\n    waived: {reason}"));
+        }
+        for hop in &self.chain {
+            s.push_str(&format!("\n    -> {}:{} {}", hop.path, hop.line, hop.what));
         }
         s
     }
@@ -181,6 +218,21 @@ pub fn finding_json(f: &Finding) -> String {
     if let Some(reason) = &f.waived {
         s.push_str(&format!(",\"waived\":\"{}\"", json_escape(reason)));
     }
+    if !f.chain.is_empty() {
+        let hops: Vec<String> = f
+            .chain
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"path\":\"{}\",\"line\":{},\"what\":\"{}\"}}",
+                    json_escape(&h.path),
+                    h.line,
+                    json_escape(&h.what),
+                )
+            })
+            .collect();
+        s.push_str(&format!(",\"chain\":[{}]", hops.join(",")));
+    }
     s.push('}');
     s
 }
@@ -221,12 +273,21 @@ pub fn render_annotations(findings: &[Finding]) -> String {
     };
     let mut out = String::new();
     for f in findings.iter().filter(|f| f.waived.is_none()) {
+        let mut message = f.message.clone();
+        if !f.chain.is_empty() {
+            let rendered: Vec<String> = f
+                .chain
+                .iter()
+                .map(|h| format!("{}:{} {}", h.path, h.line, h.what))
+                .collect();
+            message.push_str(&format!("; flow: {}", rendered.join(" -> ")));
+        }
         out.push_str(&format!(
             "::error file={},line={},title=hcperf-lint {}::{}\n",
             f.path,
             f.line,
             f.rule,
-            escape(&f.message)
+            escape(&message)
         ));
     }
     out

@@ -156,6 +156,7 @@ fn finding(rule: Rule, path: &str, line: usize, lines: &[&str], message: String)
         snippet: lines.get(line - 1).map_or("", |l| l.trim()).to_owned(),
         message,
         waived: None,
+        chain: Vec::new(),
     }
 }
 

@@ -563,7 +563,8 @@ pub fn render_json(results: &[AuditResult], gaps: &[KernelGap]) -> String {
         exit::SCHEDULABILITY
     };
     format!(
-        "{{\"mode\":\"schedulability\",\"targets\":[{}],\"findings\":[{}],\"exit_code\":{exit_code}}}",
+        "{{\"schema_version\":{},\"mode\":\"schedulability\",\"targets\":[{}],\"findings\":[{}],\"exit_code\":{exit_code}}}",
+        crate::report::SCHEMA_VERSION,
         rows.join(","),
         findings.join(","),
     )

@@ -43,6 +43,13 @@ pub struct MaskedFile {
     pub comment_spans: Vec<(usize, usize)>,
     /// Byte regions blanked as `#[cfg(…test…)] mod … { … }` test modules.
     pub test_regions: Vec<(usize, usize)>,
+    /// `(line, name)` pairs for `// hcperf-lint: det-sink(<name>)` markers;
+    /// each declares the next `fn` item a determinism output sink (see
+    /// [`crate::detflow`]).
+    pub det_sinks: Vec<(usize, String)>,
+    /// `(line, name)` pairs for `// hcperf-lint: det-sanitizer(<name>)`
+    /// markers; each declares the next `fn` item a trusted taint sanitizer.
+    pub det_sanitizers: Vec<(usize, String)>,
 }
 
 const MARKER: &str = "hcperf-lint:";
@@ -53,6 +60,12 @@ enum Directive {
     Waiver(Waiver),
     /// `hot-path-root` — declares the next `fn` item a hot-path root.
     HotPathRoot,
+    /// `det-sink(<name>)` — declares the next `fn` item a determinism
+    /// output sink named `<name>`.
+    DetSink(String),
+    /// `det-sanitizer(<name>)` — declares the next `fn` item a trusted
+    /// taint sanitizer (its output is order-stable by construction).
+    DetSanitizer(String),
 }
 
 /// Masks `source` and collects waiver comments.
@@ -62,6 +75,8 @@ pub fn mask(source: &str) -> MaskedFile {
     let mut out = bytes.to_vec();
     let mut waivers = Vec::new();
     let mut hot_path_roots = Vec::new();
+    let mut det_sinks = Vec::new();
+    let mut det_sanitizers = Vec::new();
     let mut comment_spans = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
@@ -76,6 +91,12 @@ pub fn mask(source: &str) -> MaskedFile {
                     match parse_directive(&source[i..end], line_of(bytes, i)) {
                         Some(Directive::Waiver(w)) => waivers.push(w),
                         Some(Directive::HotPathRoot) => hot_path_roots.push(line_of(bytes, i)),
+                        Some(Directive::DetSink(name)) => {
+                            det_sinks.push((line_of(bytes, i), name));
+                        }
+                        Some(Directive::DetSanitizer(name)) => {
+                            det_sanitizers.push((line_of(bytes, i), name));
+                        }
                         None => {}
                     }
                 }
@@ -127,6 +148,8 @@ pub fn mask(source: &str) -> MaskedFile {
         hot_path_roots,
         comment_spans,
         test_regions,
+        det_sinks,
+        det_sanitizers,
     }
 }
 
@@ -488,6 +511,23 @@ fn parse_directive(comment: &str, line: usize) -> Option<Directive> {
             return Some(Directive::HotPathRoot);
         }
     }
+    for (keyword, mk) in [
+        ("det-sink(", Directive::DetSink as fn(String) -> Directive),
+        ("det-sanitizer(", Directive::DetSanitizer),
+    ] {
+        if let Some(args) = rest.strip_prefix(keyword) {
+            // `det-sink(<name>)` with an optional `: prose` tail; an empty
+            // or unterminated name is a typo and reports as malformed.
+            if let Some(close) = args.find(')') {
+                let name = args[..close].trim();
+                let tail = args[close + 1..].trim_start();
+                let named = !name.is_empty() && name.chars().all(|c| c != '(' && c != ')');
+                if named && (tail.is_empty() || tail.starts_with(':')) {
+                    return Some(mk(name.to_owned()));
+                }
+            }
+        }
+    }
     let malformed = Waiver {
         rule: None,
         line,
@@ -647,6 +687,37 @@ fn rank() {}
         let m = mask(src);
         assert!(m.waivers.is_empty(), "{:?}", m.waivers);
         assert_eq!(m.hot_path_roots, vec![1, 3]);
+    }
+
+    #[test]
+    fn det_sink_and_sanitizer_markers_are_directives() {
+        let src = "\
+// hcperf-lint: det-sink(harness-jsonl)
+fn record() {}
+// hcperf-lint: det-sanitizer(index-tagged-merge): submission-order merge
+fn collect_ordered() {}
+";
+        let m = mask(src);
+        assert!(m.waivers.is_empty(), "{:?}", m.waivers);
+        assert_eq!(m.det_sinks, vec![(1, "harness-jsonl".to_owned())]);
+        assert_eq!(m.det_sanitizers, vec![(3, "index-tagged-merge".to_owned())]);
+    }
+
+    #[test]
+    fn malformed_det_sink_markers_report_as_waiver_syntax() {
+        for bad in [
+            "// hcperf-lint: det-sink()\nfn f() {}\n",   // empty name
+            "// hcperf-lint: det-sink(a b\nfn f() {}\n", // unterminated
+            "// hcperf-lint: det-sink(a) extra\nfn f() {}\n", // glued tail
+            "// hcperf-lint: det-sinks(name)\nfn f() {}\n", // wrong keyword
+            "// hcperf-lint: det-sanitizer\nfn f() {}\n", // no name
+        ] {
+            let m = mask(bad);
+            assert_eq!(m.waivers.len(), 1, "{bad:?}");
+            assert_eq!(m.waivers[0].rule, None, "{bad:?}");
+            assert!(m.det_sinks.is_empty(), "{bad:?}");
+            assert!(m.det_sanitizers.is_empty(), "{bad:?}");
+        }
     }
 
     #[test]

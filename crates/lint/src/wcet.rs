@@ -617,6 +617,7 @@ pub(crate) fn analyze(sources: &[SourceFile]) -> WcetAnalysis {
                         node.qualified()
                     ),
                     waived: None,
+                    chain: Vec::new(),
                 };
                 match waiver_covers(&src.masked.waivers, Rule::HotPathBlocking, line) {
                     Some(reason) => waived.push(Finding {
@@ -665,6 +666,7 @@ pub(crate) fn analyze(sources: &[SourceFile]) -> WcetAnalysis {
                     c.name, what
                 ),
                 waived: None,
+                chain: Vec::new(),
             });
         }
     }
@@ -698,6 +700,7 @@ fn loop_finding(
             node.qualified()
         ),
         waived,
+        chain: Vec::new(),
     }
 }
 
@@ -759,6 +762,7 @@ pub fn run_wcet(root: &Path, against_baseline: bool) -> io::Result<WcetReport> {
                         .map_or_else(|| "nothing (new root)".to_owned(), Cost::render),
                 ),
                 waived: None,
+                chain: Vec::new(),
             });
         }
         analysis

@@ -144,7 +144,8 @@ impl LintReport {
             },
         );
         format!(
-            "{{\"mode\":\"lint\",\"files_scanned\":{},\"findings\":[{}],\"waived\":[{}],\"ratchet\":{},\"exit_code\":{}}}",
+            "{{\"schema_version\":{},\"mode\":\"lint\",\"files_scanned\":{},\"findings\":[{}],\"waived\":[{}],\"ratchet\":{},\"exit_code\":{}}}",
+            crate::report::SCHEMA_VERSION,
             self.files_scanned,
             findings.join(","),
             waived.join(","),

@@ -141,6 +141,11 @@ fn mini_workspace(tag: &str, violations: &[(&str, &str)], baseline: &str) -> Pat
         "# empty WCET certificates\n",
     )
     .expect("write WCET certificates");
+    fs::write(
+        root.join("crates/lint/detflow_certificates.txt"),
+        "# empty det-flow certificates\n",
+    )
+    .expect("write det-flow certificates");
     root
 }
 
@@ -179,6 +184,7 @@ fn binary_findings_exit_one_with_json_shape() {
     assert_eq!(out.status.code(), Some(exit::FINDINGS), "{out:?}");
 
     let doc = parse_json(&out);
+    assert_eq!(doc["schema_version"].as_f64(), Some(2.0));
     assert_eq!(doc["mode"].as_str(), Some("lint"));
     assert_eq!(doc["exit_code"].as_f64(), Some(f64::from(exit::FINDINGS)));
     let findings = doc["findings"].as_array().expect("findings array");
@@ -443,6 +449,7 @@ fn binary_update_baselines_clears_dirty_certificates_in_one_run() {
     for rewritten in [
         "crates/lint/unwrap_baseline.txt",
         "crates/lint/hotpath_baseline.txt",
+        "crates/lint/detflow_certificates.txt",
     ] {
         assert!(root.join(rewritten).exists(), "{rewritten} missing");
     }
@@ -454,6 +461,123 @@ fn binary_update_baselines_clears_dirty_certificates_in_one_run() {
         .as_array()
         .expect("growth array");
     assert!(growth.is_empty(), "{growth:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Binary end-to-end: det-flow certificates and the taint-chain report.
+// ---------------------------------------------------------------------------
+
+/// A HashMap source two calls away from a declared det-sink: the taint
+/// must travel gather -> shape -> emit and the finding must spell out
+/// every hop with exact lines.
+const TAINTED_FLOW: &str = "\
+use std::collections::HashMap;
+fn gather() -> Vec<u32> {
+    let m = HashMap::new();
+    m.values().copied().collect()
+}
+fn shape() -> Vec<u32> {
+    gather()
+}
+// hcperf-lint: det-sink(test-out): output bytes feed checked-in expectations
+fn emit() {
+    let v = shape();
+    drop(v);
+}
+";
+
+#[test]
+fn binary_det_flow_taint_through_helper_trips_ratchet_with_chain() {
+    let root = mini_workspace(
+        "detflow-taint",
+        &[("crates/core/src/flow.rs", TAINTED_FLOW)],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--det-flow", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::RATCHET), "{out:?}");
+
+    let doc = parse_json(&out);
+    assert_eq!(doc["schema_version"].as_f64(), Some(2.0));
+    assert_eq!(doc["mode"].as_str(), Some("det-flow"));
+    let sinks = doc["det_flow"]["sinks"].as_array().expect("sinks array");
+    assert_eq!(sinks.len(), 1, "{sinks:?}");
+    assert_eq!(sinks[0]["sink"].as_str(), Some("test-out"));
+    assert_eq!(sinks[0]["status"].as_str(), Some("tainted:1"));
+    let growth = doc["det_flow"]["ratchet"]["growth"]
+        .as_array()
+        .expect("growth array");
+    assert_eq!(growth.len(), 1, "{growth:?}");
+
+    // The finding anchors at the sink declaration and carries the full
+    // interprocedural chain: source -> returned-through -> passed-into ->
+    // sink, each hop with its exact line.
+    let findings = doc["findings"].as_array().expect("findings array");
+    let det: Vec<_> = findings
+        .iter()
+        .filter(|f| f["rule"].as_str() == Some("det-flow"))
+        .collect();
+    assert_eq!(det.len(), 1, "{findings:?}");
+    assert_eq!(det[0]["path"].as_str(), Some("crates/core/src/flow.rs"));
+    assert_eq!(det[0]["line"].as_f64(), Some(10.0), "sink `fn emit` line");
+    let msg = det[0]["message"].as_str().expect("message");
+    assert!(msg.contains("crates/core/src/flow.rs:3"), "{msg}");
+    assert!(msg.contains("nothing (new sink)"), "{msg}");
+    let chain = det[0]["chain"].as_array().expect("chain array");
+    assert_eq!(chain.len(), 4, "{chain:?}");
+    assert_eq!(chain[0]["line"].as_f64(), Some(3.0), "HashMap source");
+    assert!(chain[0]["what"].as_str().expect("what").contains("HashMap"));
+    assert_eq!(chain[1]["line"].as_f64(), Some(7.0), "gather() in shape");
+    assert!(chain[1]["what"]
+        .as_str()
+        .expect("what")
+        .contains("returned through `gather`"),);
+    assert_eq!(chain[2]["line"].as_f64(), Some(11.0), "shape() in emit");
+    assert_eq!(chain[3]["line"].as_f64(), Some(10.0), "sink declaration");
+    assert!(chain[3]["what"]
+        .as_str()
+        .expect("what")
+        .contains("det-sink(test-out)"),);
+
+    // The annotation anchors ::error at the sink line and appends the
+    // chain to the message so the hops survive into the CI log.
+    let out = run_lint(&root, &["--det-flow", "--annotations"]);
+    let text = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    assert!(
+        text.contains("::error file=crates/core/src/flow.rs,line=10,title=hcperf-lint det-flow::"),
+        "{text}"
+    );
+    assert!(text.contains("flow: crates/core/src/flow.rs:3"), "{text}");
+}
+
+#[test]
+fn binary_det_flow_sanitized_workspace_is_clean_and_update_writes_certs() {
+    // Same flow, but shape() rebuilds through a sort before the sink:
+    // the sanitizer kills the taint and the sink certifies clean.
+    let sanitized = TAINTED_FLOW.replace(
+        "fn shape() -> Vec<u32> {\n    gather()\n}",
+        "fn shape() -> Vec<u32> {\n    let mut v = gather();\n    v.sort_unstable();\n    v\n}",
+    );
+    let root = mini_workspace(
+        "detflow-sanitized",
+        &[("crates/core/src/flow.rs", &sanitized)],
+        "# empty baseline\n",
+    );
+    let out = run_lint(&root, &["--det-flow", "--update-baseline"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let certs = fs::read_to_string(root.join("crates/lint/detflow_certificates.txt"))
+        .expect("rewritten certificates");
+    assert!(
+        certs.contains("test-out\tclean\tcrates/core/src/flow.rs"),
+        "{certs}"
+    );
+    let out = run_lint(&root, &["--det-flow", "--json"]);
+    assert_eq!(out.status.code(), Some(exit::CLEAN), "{out:?}");
+    let doc = parse_json(&out);
+    assert_eq!(
+        doc["det_flow"]["sinks"][0]["status"].as_str(),
+        Some("clean")
+    );
+    assert_eq!(doc["det_flow"]["flows"].as_f64(), Some(0.0));
 }
 
 #[test]
@@ -599,5 +723,58 @@ fn real_workspace_hot_path_and_eq_coverage_are_clean() {
             .find(|e| e["eq"].as_f64() == Some(f64::from(eq)))
             .unwrap_or_else(|| panic!("Eq. {eq} absent from report"));
         assert_eq!(row["ok"].as_bool(), Some(true), "Eq. {eq}: {row:?}");
+    }
+}
+
+#[test]
+fn real_workspace_det_flow_certifies_every_sink_clean() {
+    let out = run_lint(&real_root(), &["--det-flow", "--json"]);
+    let doc = parse_json(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(exit::CLEAN),
+        "det-flow gate must be clean; findings: {:?}, ratchet: {:?}",
+        doc["findings"],
+        doc["det_flow"]["ratchet"]
+    );
+    assert_eq!(doc["schema_version"].as_f64(), Some(2.0));
+
+    // Every declared output sink is certified clean: no nondeterminism
+    // source reaches result bytes, cache identities, or seed derivation.
+    let sinks = doc["det_flow"]["sinks"].as_array().expect("sinks array");
+    let names: Vec<&str> = sinks.iter().filter_map(|s| s["sink"].as_str()).collect();
+    for expected in [
+        "harness-jsonl",
+        "fleet-jsonl",
+        "seed-derivation",
+        "store-fingerprint",
+        "store-cell-id",
+        "store-append",
+        "cli-stdout",
+        "fig04-stdout",
+        "fig13-stdout",
+        "fig14-stdout",
+        "fig15-stdout",
+        "fig18-stdout",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "missing sink {expected}: {names:?}"
+        );
+    }
+    assert_eq!(sinks.len(), 12, "exactly the declared sinks: {names:?}");
+    for s in sinks {
+        assert_eq!(s["status"].as_str(), Some("clean"), "{s:?}");
+    }
+
+    // The reviewed waivers (wall_ms timing, env-selected worker count and
+    // store path, membership-only HashSet) stay visible, not dropped.
+    let waived = doc["waived"].as_array().expect("waived array");
+    assert!(waived.len() >= 5, "{waived:?}");
+    for w in waived {
+        assert!(
+            !w["waived"].is_null(),
+            "waiver must carry its reason: {w:?}"
+        );
     }
 }

@@ -374,6 +374,7 @@ impl<'a> FleetSink<'a> {
 }
 
 impl RecordSink<Result<VehicleRecord, String>> for FleetSink<'_> {
+    // hcperf-lint: det-sink(fleet-jsonl): per-vehicle JSONL lines must be byte-reproducible
     fn record(&mut self, result: &JobResult<Result<VehicleRecord, String>>) {
         self.seen += 1;
         let mut line = format!(

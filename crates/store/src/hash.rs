@@ -38,6 +38,7 @@ fn fnv1a64_with(offset: u64, bytes: &[u8]) -> u64 {
 /// joined with `\x1f` (unit separator) so `["ab", "c"]` and `["a",
 /// "bc"]` fingerprint differently.
 #[must_use]
+// hcperf-lint: det-sink(store-fingerprint): cache identity must not depend on ambient state
 pub fn fingerprint(parts: &[&str]) -> String {
     let mut bytes = Vec::new();
     for (i, p) in parts.iter().enumerate() {
@@ -52,6 +53,7 @@ pub fn fingerprint(parts: &[&str]) -> String {
 /// Content-addressed identity of one experiment cell: 128 bits over
 /// `(fingerprint, stable job key)` as 32 lowercase hex digits.
 #[must_use]
+// hcperf-lint: det-sink(store-cell-id): cell addresses must be a pure function of (fingerprint, key)
 pub fn cell_id(fingerprint: &str, key: &str) -> CellId {
     let mut bytes = Vec::with_capacity(fingerprint.len() + 1 + key.len());
     bytes.extend_from_slice(fingerprint.as_bytes());

@@ -380,6 +380,7 @@ impl Store {
         }
     }
 
+    // hcperf-lint: det-sink(store-append): every log line is replayed on resume; bytes must be stable
     fn append(&mut self, line: &str) -> Result<(), StoreError> {
         self.writer
             .write_all(line.as_bytes())
